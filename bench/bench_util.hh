@@ -1,0 +1,66 @@
+#ifndef TENSORDASH_BENCH_BENCH_UTIL_HH_
+#define TENSORDASH_BENCH_BENCH_UTIL_HH_
+
+/**
+ * @file
+ * Shared helpers for the benchmark harness.
+ *
+ * Every bench binary regenerates one table or figure from the paper's
+ * evaluation and prints the same rows/series plus the paper-reported
+ * reference values where the text states them.  Set TD_FAST=1 to run
+ * with reduced sampling (quick smoke of the whole harness).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/tensordash.hh"
+
+namespace tensordash {
+namespace bench {
+
+/** True when TD_FAST=1 requests reduced sampling. */
+inline bool
+fastMode()
+{
+    const char *v = std::getenv("TD_FAST");
+    return v && v[0] == '1';
+}
+
+/** Per-op dense-MAC sampling cap for model-suite benches. */
+inline uint64_t
+sampleBudget(uint64_t full, uint64_t fast)
+{
+    return fastMode() ? fast : full;
+}
+
+/** Default accelerator run configuration (paper Table 2). */
+inline RunConfig
+defaultRunConfig()
+{
+    RunConfig cfg;
+    cfg.accel.max_sampled_macs = sampleBudget(600000, 120000);
+    return cfg;
+}
+
+/** Print the figure banner. */
+inline void
+banner(const char *id, const char *what)
+{
+    std::printf("=== %s: %s ===\n", id, what);
+    if (fastMode())
+        std::printf("(TD_FAST=1: reduced sampling)\n");
+}
+
+/** Print a paper-reference footnote. */
+inline void
+reference(const char *text)
+{
+    std::printf("paper reference: %s\n", text);
+}
+
+} // namespace bench
+} // namespace tensordash
+
+#endif // TENSORDASH_BENCH_BENCH_UTIL_HH_

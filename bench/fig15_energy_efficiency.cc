@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 15: energy efficiency of TensorDash relative to the baseline,
+ * for the compute logic alone and for the whole system.
+ */
+
+#include "bench_util.hh"
+
+using namespace tensordash;
+
+int
+main()
+{
+    bench::banner("Fig. 15", "energy efficiency over the baseline");
+    RunConfig cfg = bench::defaultRunConfig();
+    ModelRunner runner(cfg);
+
+    Table t;
+    t.header({"model", "Core Energy Effic.", "Overall Energy Effic."});
+    std::vector<double> core, overall;
+    for (const auto &model : ModelZoo::paperModels()) {
+        ModelRunResult r = runner.run(model);
+        t.row({model.name, fmtSpeedup(r.coreEfficiency()),
+               fmtSpeedup(r.overallEfficiency())});
+        core.push_back(r.coreEfficiency());
+        overall.push_back(r.overallEfficiency());
+    }
+    double core_mean = 0.0, overall_mean = 0.0;
+    for (size_t i = 0; i < core.size(); ++i) {
+        core_mean += core[i];
+        overall_mean += overall[i];
+    }
+    core_mean /= (double)core.size();
+    overall_mean /= (double)overall.size();
+    t.row({"average", fmtSpeedup(core_mean), fmtSpeedup(overall_mean)});
+    t.print();
+    bench::reference("compute logic 1.89x more energy efficient on "
+                     "average; 1.6x overall when on-chip and off-chip "
+                     "memory accesses are taken into account");
+    return 0;
+}

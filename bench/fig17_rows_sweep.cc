@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 17: TensorDash speedup vs the number of PE rows per tile
+ * (columns fixed at 4).  More rows sharing one window means more
+ * frequent work-imbalance stalls.
+ */
+
+#include "bench_util.hh"
+
+using namespace tensordash;
+
+int
+main()
+{
+    bench::banner("Fig. 17", "speedup vs PE rows per tile (cols = 4)");
+    const int row_counts[] = {1, 2, 4, 8, 16};
+
+    Table t;
+    t.header({"model", "1Row", "2Rows", "4Rows", "8Rows", "16Rows"});
+    std::vector<std::vector<double>> per_config(5);
+    for (const auto &model : ModelZoo::paperModels()) {
+        std::vector<std::string> row = {model.name};
+        for (size_t i = 0; i < 5; ++i) {
+            RunConfig cfg = bench::defaultRunConfig();
+            cfg.accel.max_sampled_macs =
+                bench::sampleBudget(250000, 60000);
+            cfg.accel.tile.rows = row_counts[i];
+            ModelRunner runner(cfg);
+            double s = runner.run(model).speedup();
+            row.push_back(fmtDouble(s, 2));
+            per_config[i].push_back(s);
+        }
+        t.row(row);
+    }
+    std::vector<std::string> mean_row = {"average"};
+    for (size_t i = 0; i < 5; ++i) {
+        double m = 0.0;
+        for (double s : per_config[i])
+            m += s;
+        mean_row.push_back(fmtDouble(m / per_config[i].size(), 2));
+    }
+    t.row(mean_row);
+    t.print();
+    bench::reference("average speedup decreases from 2.1x at 1 row to "
+                     "1.72x at 16 rows: all rows wait for the one with "
+                     "the densest value stream");
+    return 0;
+}

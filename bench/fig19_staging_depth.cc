@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 19: TensorDash speedup with 2-deep vs 3-deep staging buffers
+ * (the paper reports DenseNet121, SqueezeNet, img2txt, resnet50_DS90
+ * and the geomean).
+ */
+
+#include "bench_util.hh"
+
+using namespace tensordash;
+
+int
+main()
+{
+    bench::banner("Fig. 19", "staging buffer depth 2 vs 3");
+    const char *models[] = {"DenseNet121", "SqueezeNet", "img2txt",
+                            "resnet50_DS90"};
+
+    Table t;
+    t.header({"model", "2-Deep", "3-Deep"});
+    std::vector<double> two, three;
+    for (const char *name : models) {
+        ModelProfile model = ModelZoo::byName(name);
+        double s[2];
+        for (int depth : {2, 3}) {
+            RunConfig cfg = bench::defaultRunConfig();
+            cfg.accel.max_sampled_macs =
+                bench::sampleBudget(400000, 80000);
+            cfg.accel.tile.depth = depth;
+            ModelRunner runner(cfg);
+            s[depth - 2] = runner.run(model).speedup();
+        }
+        two.push_back(s[0]);
+        three.push_back(s[1]);
+        t.row({name, fmtDouble(s[0], 2), fmtDouble(s[1], 2)});
+    }
+    t.row({"Geom", fmtDouble(geomean(two), 2),
+           fmtDouble(geomean(three), 2)});
+    t.print();
+    bench::reference("2-deep staging (5 movements/multiplier) yields "
+                     "lower but still considerable speedups -- an "
+                     "appealing cost/performance point");
+    return 0;
+}

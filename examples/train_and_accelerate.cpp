@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Train a small CNN from scratch on the procedural pattern dataset and
+ * evaluate TensorDash on the *real* operand traces of each epoch --
+ * the trace-driven methodology of the paper (one sampled batch per
+ * epoch), end to end, with genuine ReLU-induced dynamic sparsity.
+ *
+ *   ./build/examples/train_and_accelerate
+ */
+
+#include <cstdio>
+
+#include "core/tensordash.hh"
+#include "nn/data.hh"
+#include "nn/network.hh"
+#include "nn/trace.hh"
+
+using namespace tensordash;
+
+int
+main()
+{
+    std::printf("Training a CNN and accelerating its traces\n");
+    std::printf("------------------------------------------\n");
+
+    Rng rng(7);
+    PatternDataset data(4, 16, 0.25f, 11);
+
+    Network net;
+    net.emplace<Conv2dLayer>("conv1", 1, 8, 3, ConvSpec{1, 1}, rng);
+    net.emplace<ReluLayer>("relu1");
+    net.emplace<MaxPool2x2Layer>("pool1");
+    net.emplace<Conv2dLayer>("conv2", 8, 16, 3, ConvSpec{1, 1}, rng);
+    net.emplace<ReluLayer>("relu2");
+    net.emplace<MaxPool2x2Layer>("pool2");
+    net.emplace<FlattenLayer>("flatten");
+    net.emplace<LinearLayer>("fc", 16 * 4 * 4, 4, rng);
+    Sgd opt(0.05f);
+
+    AcceleratorConfig accel_cfg;
+    accel_cfg.tiles = 4;
+    accel_cfg.max_sampled_macs = 200000;
+    TraceEvaluator evaluator(accel_cfg);
+
+    const int epochs = 8, steps_per_epoch = 15;
+    std::printf("%-6s %-8s %-8s %-10s %-10s %s\n", "epoch", "loss",
+                "acc", "act-spars", "grad-spars", "TD speedup");
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        double loss = 0.0, acc = 0.0;
+        for (int step = 0; step < steps_per_epoch; ++step) {
+            Batch batch = data.sample(16);
+            LossResult r = net.trainStep(batch.images, batch.labels,
+                                         opt);
+            loss = r.loss;
+            acc = r.accuracy;
+        }
+        // Trace one batch per epoch, exactly like the paper.
+        Batch batch = data.sample(16);
+        TraceStepResult t;
+        net.trainStep(batch.images, batch.labels, opt,
+                      [&](const std::vector<LayerTrace> &traces) {
+                          t = evaluator.evaluate(traces);
+                      });
+        std::printf("%-6d %-8.3f %-8.2f %8.1f%%  %8.1f%%  %.2fx\n",
+                    epoch, loss, acc, 100.0 * t.act_sparsity,
+                    100.0 * t.grad_sparsity, t.speedup);
+    }
+    std::printf("\nThe speedup comes purely from the zeros the model "
+                "learned to produce -- no annotations, no retraining "
+                "changes.\n");
+    return 0;
+}

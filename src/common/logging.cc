@@ -1,0 +1,74 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace tensordash {
+
+namespace {
+
+bool throw_mode = false;
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogThrowMode(bool enable)
+{
+    throw_mode = enable;
+}
+
+bool
+logThrowMode()
+{
+    return throw_mode;
+}
+
+void
+logTerminate(LogLevel level, const std::string &msg)
+{
+    if (throw_mode)
+        throw SimError{msg};
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    std::vector<char> buf(needed > 0 ? needed + 1 : 2, '\0');
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    va_end(args);
+
+    bool error = level == LogLevel::Fatal || level == LogLevel::Panic;
+    std::FILE *sink = error ? stderr : stdout;
+    std::fprintf(sink, "%s: %s", levelPrefix(level), buf.data());
+    if (error)
+        std::fprintf(sink, " (%s:%d)", file, line);
+    std::fprintf(sink, "\n");
+    std::fflush(sink);
+
+    if (error)
+        logTerminate(level, buf.data());
+}
+
+} // namespace tensordash

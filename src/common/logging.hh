@@ -1,0 +1,82 @@
+#ifndef TENSORDASH_COMMON_LOGGING_HH_
+#define TENSORDASH_COMMON_LOGGING_HH_
+
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal invariant was violated; this is a simulator bug.
+ *            Aborts so a debugger or core dump can capture the state.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments).  Exits with code 1.
+ * warn()   - something may not behave the way the user expects.
+ * inform() - normal operating status messages.
+ */
+
+#include <cstdarg>
+#include <string>
+
+namespace tensordash {
+
+/** Severity of a log message; controls the prefix and the sink. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+/**
+ * Format and emit one log message.
+ *
+ * @param level severity (selects prefix and output stream)
+ * @param file  source file of the call site
+ * @param line  source line of the call site
+ * @param fmt   printf-style format string
+ */
+void logMessage(LogLevel level, const char *file, int line,
+                const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** Exception thrown by fatal()/panic() when throw-mode is enabled. */
+struct SimError
+{
+    std::string message;
+};
+
+/**
+ * Redirect fatal()/panic() to throw SimError instead of terminating.
+ * Used by the test suite to assert on error paths.
+ *
+ * @param enable true to throw, false to terminate (default)
+ */
+void setLogThrowMode(bool enable);
+
+/** @return true when fatal()/panic() throw instead of terminating. */
+bool logThrowMode();
+
+[[noreturn]] void logTerminate(LogLevel level, const std::string &msg);
+
+} // namespace tensordash
+
+#define TD_INFORM(...) \
+    ::tensordash::logMessage(::tensordash::LogLevel::Info, \
+                             __FILE__, __LINE__, __VA_ARGS__)
+
+#define TD_WARN(...) \
+    ::tensordash::logMessage(::tensordash::LogLevel::Warn, \
+                             __FILE__, __LINE__, __VA_ARGS__)
+
+#define TD_FATAL(...) \
+    ::tensordash::logMessage(::tensordash::LogLevel::Fatal, \
+                             __FILE__, __LINE__, __VA_ARGS__)
+
+#define TD_PANIC(...) \
+    ::tensordash::logMessage(::tensordash::LogLevel::Panic, \
+                             __FILE__, __LINE__, __VA_ARGS__)
+
+/** Panic when an internal invariant does not hold. */
+#define TD_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::tensordash::logMessage(::tensordash::LogLevel::Panic, \
+                                     __FILE__, __LINE__, __VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // TENSORDASH_COMMON_LOGGING_HH_

@@ -1,0 +1,9 @@
+#include "common/rng.hh"
+
+// Rng is header-only; this translation unit anchors the module in the
+// library so include-what-you-use checks cover the header.
+namespace tensordash {
+namespace {
+[[maybe_unused]] Rng anchor_instance{1};
+} // namespace
+} // namespace tensordash

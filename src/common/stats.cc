@@ -1,0 +1,87 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+void
+StatSet::inc(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    scalars_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    scalars_[name] = value;
+}
+
+uint64_t
+StatSet::count(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+StatSet::value(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return counters_.count(name) > 0 || scalars_.count(name) > 0;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, v] : other.counters_)
+        counters_[name] += v;
+    for (const auto &[name, v] : other.scalars_)
+        scalars_[name] += v;
+}
+
+void
+StatSet::clear()
+{
+    counters_.clear();
+    scalars_.clear();
+}
+
+std::string
+StatSet::str() const
+{
+    std::ostringstream os;
+    for (const auto &[name, v] : counters_)
+        os << name << " = " << v << "\n";
+    for (const auto &[name, v] : scalars_)
+        os << name << " = " << v << "\n";
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    TD_ASSERT(!values.empty(), "geomean of empty sequence");
+    double acc = 0.0;
+    for (double v : values) {
+        TD_ASSERT(v > 0.0, "geomean requires positive values, got %f", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / (double)values.size());
+}
+
+} // namespace tensordash

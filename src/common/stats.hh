@@ -1,0 +1,66 @@
+#ifndef TENSORDASH_COMMON_STATS_HH_
+#define TENSORDASH_COMMON_STATS_HH_
+
+/**
+ * @file
+ * Lightweight statistics counters used throughout the simulator.
+ *
+ * A StatSet is a named bag of 64-bit counters and double-valued scalars.
+ * Components accumulate into their own StatSet; the accelerator merges
+ * per-tile sets into a run-level report.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tensordash {
+
+/** Named bag of counters (uint64) and scalars (double). */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** Add @p delta to scalar @p name (creating it at zero). */
+    void add(const std::string &name, double delta);
+
+    /** Overwrite scalar @p name. */
+    void set(const std::string &name, double value);
+
+    /** @return counter value, 0 if absent. */
+    uint64_t count(const std::string &name) const;
+
+    /** @return scalar value, 0.0 if absent. */
+    double value(const std::string &name) const;
+
+    /** @return true if a counter or scalar with @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Merge all entries of @p other into this set (summing). */
+    void merge(const StatSet &other);
+
+    /** Remove all entries. */
+    void clear();
+
+    const std::map<std::string, uint64_t> &counters() const
+    { return counters_; }
+    const std::map<std::string, double> &scalars() const
+    { return scalars_; }
+
+    /** Render as "name = value" lines, sorted by name. */
+    std::string str() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, double> scalars_;
+};
+
+/** Geometric mean of a sequence of positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace tensordash
+
+#endif // TENSORDASH_COMMON_STATS_HH_

@@ -1,0 +1,58 @@
+#include "core/runner.hh"
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+ModelRunResult
+ModelRunner::run(const ModelProfile &model) const
+{
+    ModelRunResult result;
+    result.model = model.name;
+    for (int i = 0; i < 3; ++i)
+        result.ops[i].op = (TrainOp)i;
+
+    AcceleratorConfig accel_cfg = config_.accel;
+    accel_cfg.wg_side = model.wg_side;
+    Accelerator accel(accel_cfg);
+
+    Rng rng(config_.seed * 0x2545f4914f6cdd1dull + 1);
+    int layer_index = 0;
+    for (const LayerSpec &layer : model.layers) {
+        Rng layer_rng(rng.fork());
+        LayerTensors t = ModelZoo::synthesize(model, layer,
+                                              config_.progress,
+                                              layer_rng);
+        // Train the power-gating counters with this layer's measured
+        // zero fractions (the per-layer output counters of section 3.5).
+        accel.powerGate().observe("acts", t.acts.sparsity());
+        accel.powerGate().observe("grads", t.grads.sparsity());
+        accel.powerGate().observe("weights", t.weights.sparsity());
+
+        // Output write-back sparsity estimates: O looks like this
+        // model's activations, GA like its gradients, GW is dense.
+        const double out_sparsity[3] = {t.acts.sparsity(),
+                                        t.grads.sparsity(), 0.0};
+        for (int i = 0; i < 3; ++i) {
+            OpResult r = accel.runConvOp((TrainOp)i, t.acts, t.weights,
+                                         t.grads, t.spec,
+                                         out_sparsity[i]);
+            result.ops[i].merge(r);
+            result.total.merge(r);
+            result.energy_base.merge(accel.energy(r, false));
+            result.energy_td.merge(accel.energy(r, true));
+        }
+        ++layer_index;
+    }
+    TD_ASSERT(layer_index > 0, "model '%s' has no layers",
+              model.name.c_str());
+    return result;
+}
+
+ModelRunResult
+ModelRunner::runByName(const std::string &name) const
+{
+    return run(ModelZoo::byName(name));
+}
+
+} // namespace tensordash

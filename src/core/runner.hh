@@ -1,0 +1,103 @@
+#ifndef TENSORDASH_CORE_RUNNER_HH_
+#define TENSORDASH_CORE_RUNNER_HH_
+
+/**
+ * @file
+ * Model-level simulation driver: the public entry point the benchmark
+ * harness and examples use to reproduce the paper's per-model results.
+ *
+ * A ModelRunner takes a workload profile (layer shapes + sparsity
+ * calibration), synthesises per-layer tensors at a chosen point in
+ * training, runs all three training convolutions of every layer through
+ * the accelerator, and aggregates cycles, potentials and energy.
+ */
+
+#include <array>
+#include <string>
+
+#include "models/model_zoo.hh"
+#include "sim/accelerator.hh"
+
+namespace tensordash {
+
+/** Configuration of one model-level run. */
+struct RunConfig
+{
+    AcceleratorConfig accel;
+
+    /** Training progress in [0, 1] driving the temporal profile. */
+    double progress = 0.5;
+
+    /** Seed for tensor synthesis. */
+    uint64_t seed = 7;
+};
+
+/** Aggregated result of simulating one model. */
+struct ModelRunResult
+{
+    std::string model;
+
+    /** Per-op aggregates in TrainOp order (AxW, AxG, WxG). */
+    std::array<OpResult, 3> ops;
+
+    /** All three ops merged. */
+    OpResult total;
+
+    /** Energy over the whole run. */
+    EnergyBreakdown energy_base;
+    EnergyBreakdown energy_td;
+
+    double speedup() const { return total.speedup(); }
+
+    double
+    opSpeedup(TrainOp op) const
+    {
+        return ops[(int)op].speedup();
+    }
+
+    double
+    opPotential(TrainOp op) const
+    {
+        return ops[(int)op].potentialSpeedup();
+    }
+
+    double totalPotential() const { return total.potentialSpeedup(); }
+
+    /** Compute-logic energy efficiency (paper Fig. 15 "core"). */
+    double
+    coreEfficiency() const
+    {
+        return energy_td.core_j > 0.0
+            ? energy_base.core_j / energy_td.core_j : 1.0;
+    }
+
+    /** Whole-system energy efficiency (paper Fig. 15 "overall"). */
+    double
+    overallEfficiency() const
+    {
+        return energy_td.total() > 0.0
+            ? energy_base.total() / energy_td.total() : 1.0;
+    }
+};
+
+/** Drives whole-model simulations. */
+class ModelRunner
+{
+  public:
+    explicit ModelRunner(const RunConfig &config) : config_(config) {}
+
+    const RunConfig &config() const { return config_; }
+
+    /** Simulate every layer of @p model at the configured progress. */
+    ModelRunResult run(const ModelProfile &model) const;
+
+    /** Convenience: run a zoo model by name. */
+    ModelRunResult runByName(const std::string &name) const;
+
+  private:
+    RunConfig config_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_CORE_RUNNER_HH_

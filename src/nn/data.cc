@@ -1,0 +1,45 @@
+#include "nn/data.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+PatternDataset::PatternDataset(int classes, int size, float noise,
+                               uint64_t seed)
+    : classes_(classes), size_(size), noise_(noise), rng_(seed)
+{
+    TD_ASSERT(classes >= 2, "need at least two classes");
+    TD_ASSERT(size >= 4, "images too small");
+}
+
+float
+PatternDataset::pattern(int cls, int y, int x, float phase) const
+{
+    // Oriented grating: class sets the orientation and frequency.
+    float angle = (float)cls * 3.14159265f / (float)classes_;
+    float freq = 0.5f + 0.35f * (float)(cls % 3);
+    float u = std::cos(angle) * (float)x + std::sin(angle) * (float)y;
+    return std::sin(freq * u + phase);
+}
+
+Batch
+PatternDataset::sample(int n)
+{
+    Batch batch{Tensor(n, 1, size_, size_), {}};
+    batch.labels.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        int cls = rng_.uniformInt(0, classes_ - 1);
+        batch.labels.push_back(cls);
+        float phase = rng_.uniform(0.0f, 6.28318f);
+        for (int y = 0; y < size_; ++y)
+            for (int x = 0; x < size_; ++x)
+                batch.images.at(i, 0, y, x) =
+                    pattern(cls, y, x, phase) +
+                    rng_.normal(0.0f, noise_);
+    }
+    return batch;
+}
+
+} // namespace tensordash

@@ -1,0 +1,327 @@
+#include "nn/layers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+// Conv2dLayer ----------------------------------------------------------
+
+Conv2dLayer::Conv2dLayer(std::string name, int in_c, int out_c,
+                         int kernel, ConvSpec spec, Rng &rng)
+    : name_(std::move(name)), spec_(spec),
+      weights_(out_c, in_c, kernel, kernel), bias_(1, out_c, 1, 1),
+      w_grads_(out_c, in_c, kernel, kernel), b_grads_(1, out_c, 1, 1)
+{
+    // He initialisation keeps ReLU activations well scaled.
+    float stddev = std::sqrt(2.0f / ((float)in_c * kernel * kernel));
+    weights_.fillNormal(rng, 0.0f, stddev);
+}
+
+Tensor
+Conv2dLayer::forward(const Tensor &input)
+{
+    input_ = input;
+    Tensor out = conv2dForward(input, weights_, spec_);
+    const Shape &os = out.shape();
+    for (int n = 0; n < os.n; ++n)
+        for (int f = 0; f < os.c; ++f)
+            for (int y = 0; y < os.h; ++y)
+                for (int x = 0; x < os.w; ++x)
+                    out.at(n, f, y, x) += bias_.at(0, f, 0, 0);
+    return out;
+}
+
+Tensor
+Conv2dLayer::backward(const Tensor &out_grads)
+{
+    w_grads_ = conv2dBackwardWeights(out_grads, input_,
+                                     weights_.shape().h,
+                                     weights_.shape().w, spec_);
+    const Shape &gs = out_grads.shape();
+    b_grads_.fill(0.0f);
+    for (int n = 0; n < gs.n; ++n)
+        for (int f = 0; f < gs.c; ++f)
+            for (int y = 0; y < gs.h; ++y)
+                for (int x = 0; x < gs.w; ++x)
+                    b_grads_.at(0, f, 0, 0) += out_grads.at(n, f, y, x);
+    return conv2dBackwardData(out_grads, weights_, input_.shape(),
+                              spec_);
+}
+
+std::vector<Tensor *>
+Conv2dLayer::parameters()
+{
+    return {&weights_, &bias_};
+}
+
+std::vector<Tensor *>
+Conv2dLayer::gradients()
+{
+    return {&w_grads_, &b_grads_};
+}
+
+// LinearLayer ----------------------------------------------------------
+
+LinearLayer::LinearLayer(std::string name, int in_features,
+                         int out_features, Rng &rng)
+    : name_(std::move(name)), weights_(out_features, in_features, 1, 1),
+      bias_(1, out_features, 1, 1),
+      w_grads_(out_features, in_features, 1, 1),
+      b_grads_(1, out_features, 1, 1)
+{
+    float stddev = std::sqrt(2.0f / (float)in_features);
+    weights_.fillNormal(rng, 0.0f, stddev);
+}
+
+Tensor
+LinearLayer::forward(const Tensor &input)
+{
+    TD_ASSERT(input.shape().h == 1 && input.shape().w == 1,
+              "LinearLayer expects flattened input, got %s",
+              input.shape().str().c_str());
+    input_ = input;
+    Tensor out = fcForward(input, weights_);
+    for (int n = 0; n < out.shape().n; ++n)
+        for (int f = 0; f < out.shape().c; ++f)
+            out.at(n, f, 0, 0) += bias_.at(0, f, 0, 0);
+    return out;
+}
+
+Tensor
+LinearLayer::backward(const Tensor &out_grads)
+{
+    w_grads_ = fcBackwardWeights(out_grads, input_);
+    b_grads_.fill(0.0f);
+    for (int n = 0; n < out_grads.shape().n; ++n)
+        for (int f = 0; f < out_grads.shape().c; ++f)
+            b_grads_.at(0, f, 0, 0) += out_grads.at(n, f, 0, 0);
+    return fcBackwardData(out_grads, weights_);
+}
+
+std::vector<Tensor *>
+LinearLayer::parameters()
+{
+    return {&weights_, &bias_};
+}
+
+std::vector<Tensor *>
+LinearLayer::gradients()
+{
+    return {&w_grads_, &b_grads_};
+}
+
+// ReluLayer ------------------------------------------------------------
+
+Tensor
+ReluLayer::forward(const Tensor &input)
+{
+    Tensor out = input;
+    mask_ = Tensor(input.shape());
+    for (size_t i = 0; i < out.size(); ++i) {
+        if (out[i] > 0.0f) {
+            mask_[i] = 1.0f;
+        } else {
+            out[i] = 0.0f;
+        }
+    }
+    return out;
+}
+
+Tensor
+ReluLayer::backward(const Tensor &out_grads)
+{
+    TD_ASSERT(out_grads.sameShape(mask_), "relu backward before forward");
+    Tensor in_grads = out_grads;
+    for (size_t i = 0; i < in_grads.size(); ++i)
+        in_grads[i] *= mask_[i];
+    return in_grads;
+}
+
+// MaxPool2x2Layer -------------------------------------------------------
+
+Tensor
+MaxPool2x2Layer::forward(const Tensor &input)
+{
+    const Shape &s = input.shape();
+    TD_ASSERT(s.h % 2 == 0 && s.w % 2 == 0,
+              "maxpool needs even spatial dims, got %s", s.str().c_str());
+    in_shape_ = s;
+    Tensor out(s.n, s.c, s.h / 2, s.w / 2);
+    argmax_.assign(out.size(), 0);
+    size_t idx = 0;
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            for (int y = 0; y < s.h / 2; ++y) {
+                for (int x = 0; x < s.w / 2; ++x, ++idx) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    int best_pos = 0;
+                    for (int dy = 0; dy < 2; ++dy) {
+                        for (int dx = 0; dx < 2; ++dx) {
+                            float v = input.at(n, c, 2 * y + dy,
+                                               2 * x + dx);
+                            if (v > best) {
+                                best = v;
+                                best_pos = dy * 2 + dx;
+                            }
+                        }
+                    }
+                    out.at(n, c, y, x) = best;
+                    argmax_[idx] = best_pos;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+MaxPool2x2Layer::backward(const Tensor &out_grads)
+{
+    Tensor in_grads(in_shape_);
+    const Shape &s = out_grads.shape();
+    size_t idx = 0;
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            for (int y = 0; y < s.h; ++y) {
+                for (int x = 0; x < s.w; ++x, ++idx) {
+                    int pos = argmax_[idx];
+                    in_grads.at(n, c, 2 * y + pos / 2,
+                                2 * x + pos % 2) =
+                        out_grads.at(n, c, y, x);
+                }
+            }
+        }
+    }
+    return in_grads;
+}
+
+// BatchNorm2dLayer -------------------------------------------------------
+
+BatchNorm2dLayer::BatchNorm2dLayer(std::string name, int channels,
+                                   float eps)
+    : name_(std::move(name)), eps_(eps), gamma_(1, channels, 1, 1),
+      beta_(1, channels, 1, 1), g_grads_(1, channels, 1, 1),
+      b_grads_(1, channels, 1, 1)
+{
+    gamma_.fill(1.0f);
+}
+
+Tensor
+BatchNorm2dLayer::forward(const Tensor &input)
+{
+    const Shape &s = input.shape();
+    input_ = input;
+    mean_.assign(s.c, 0.0f);
+    var_.assign(s.c, 0.0f);
+    float count = (float)s.n * s.h * s.w;
+    for (int c = 0; c < s.c; ++c) {
+        double sum = 0.0;
+        for (int n = 0; n < s.n; ++n)
+            for (int y = 0; y < s.h; ++y)
+                for (int x = 0; x < s.w; ++x)
+                    sum += input.at(n, c, y, x);
+        mean_[c] = (float)(sum / count);
+        double sq = 0.0;
+        for (int n = 0; n < s.n; ++n)
+            for (int y = 0; y < s.h; ++y)
+                for (int x = 0; x < s.w; ++x) {
+                    float d = input.at(n, c, y, x) - mean_[c];
+                    sq += (double)d * d;
+                }
+        var_[c] = (float)(sq / count);
+    }
+    normalized_ = Tensor(s);
+    Tensor out(s);
+    for (int c = 0; c < s.c; ++c) {
+        float inv = 1.0f / std::sqrt(var_[c] + eps_);
+        for (int n = 0; n < s.n; ++n)
+            for (int y = 0; y < s.h; ++y)
+                for (int x = 0; x < s.w; ++x) {
+                    float nv = (input.at(n, c, y, x) - mean_[c]) * inv;
+                    normalized_.at(n, c, y, x) = nv;
+                    out.at(n, c, y, x) =
+                        gamma_.at(0, c, 0, 0) * nv +
+                        beta_.at(0, c, 0, 0);
+                }
+    }
+    return out;
+}
+
+Tensor
+BatchNorm2dLayer::backward(const Tensor &out_grads)
+{
+    const Shape &s = out_grads.shape();
+    float count = (float)s.n * s.h * s.w;
+    Tensor in_grads(s);
+    for (int c = 0; c < s.c; ++c) {
+        double dgamma = 0.0, dbeta = 0.0, dnorm_sum = 0.0,
+               dnorm_norm_sum = 0.0;
+        for (int n = 0; n < s.n; ++n) {
+            for (int y = 0; y < s.h; ++y) {
+                for (int x = 0; x < s.w; ++x) {
+                    float go = out_grads.at(n, c, y, x);
+                    float nv = normalized_.at(n, c, y, x);
+                    dgamma += (double)go * nv;
+                    dbeta += go;
+                    float dnorm = go * gamma_.at(0, c, 0, 0);
+                    dnorm_sum += dnorm;
+                    dnorm_norm_sum += (double)dnorm * nv;
+                }
+            }
+        }
+        g_grads_.at(0, c, 0, 0) = (float)dgamma;
+        b_grads_.at(0, c, 0, 0) = (float)dbeta;
+        float inv = 1.0f / std::sqrt(var_[c] + eps_);
+        for (int n = 0; n < s.n; ++n) {
+            for (int y = 0; y < s.h; ++y) {
+                for (int x = 0; x < s.w; ++x) {
+                    float dnorm = out_grads.at(n, c, y, x) *
+                                  gamma_.at(0, c, 0, 0);
+                    float nv = normalized_.at(n, c, y, x);
+                    in_grads.at(n, c, y, x) =
+                        inv * (dnorm - (float)dnorm_sum / count -
+                               nv * (float)dnorm_norm_sum / count);
+                }
+            }
+        }
+    }
+    return in_grads;
+}
+
+std::vector<Tensor *>
+BatchNorm2dLayer::parameters()
+{
+    return {&gamma_, &beta_};
+}
+
+std::vector<Tensor *>
+BatchNorm2dLayer::gradients()
+{
+    return {&g_grads_, &b_grads_};
+}
+
+// FlattenLayer -----------------------------------------------------------
+
+Tensor
+FlattenLayer::forward(const Tensor &input)
+{
+    in_shape_ = input.shape();
+    Tensor out(in_shape_.n, (int)(input.size() / in_shape_.n), 1, 1);
+    for (size_t i = 0; i < input.size(); ++i)
+        out[i] = input[i];
+    return out;
+}
+
+Tensor
+FlattenLayer::backward(const Tensor &out_grads)
+{
+    Tensor in_grads(in_shape_);
+    for (size_t i = 0; i < out_grads.size(); ++i)
+        in_grads[i] = out_grads[i];
+    return in_grads;
+}
+
+} // namespace tensordash

@@ -1,0 +1,200 @@
+#ifndef TENSORDASH_NN_LAYERS_HH_
+#define TENSORDASH_NN_LAYERS_HH_
+
+/**
+ * @file
+ * Neural network layers with full training support.
+ *
+ * This is the from-scratch training framework used to produce genuine
+ * dynamic sparsity traces (DESIGN.md section 1): every layer implements
+ * forward and backward passes over the reference convolutions, so a
+ * small CNN can actually be trained and its operands (A, W, GO) handed
+ * to the accelerator simulator per step.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/conv_ref.hh"
+#include "tensor/tensor.hh"
+
+namespace tensordash {
+
+/** Abstract trainable layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Human-readable layer name for traces and reports. */
+    virtual std::string name() const = 0;
+
+    /** Forward pass; implementations cache what backward needs. */
+    virtual Tensor forward(const Tensor &input) = 0;
+
+    /**
+     * Backward pass.
+     *
+     * @param out_grads gradient of the loss w.r.t. this layer's output
+     * @return gradient w.r.t. this layer's input
+     */
+    virtual Tensor backward(const Tensor &out_grads) = 0;
+
+    /** Parameter tensors (empty for stateless layers). */
+    virtual std::vector<Tensor *> parameters() { return {}; }
+
+    /** Parameter gradients, parallel to parameters(). */
+    virtual std::vector<Tensor *> gradients() { return {}; }
+
+    /** True for layers that own weights (conv / linear). */
+    virtual bool hasWeights() const { return false; }
+};
+
+/** 2-D convolution with bias. */
+class Conv2dLayer : public Layer
+{
+  public:
+    /**
+     * @param name     layer name
+     * @param in_c     input channels
+     * @param out_c    output channels (filters)
+     * @param kernel   square kernel extent
+     * @param spec     stride / padding
+     * @param rng      weight initialisation randomness (He init)
+     */
+    Conv2dLayer(std::string name, int in_c, int out_c, int kernel,
+                ConvSpec spec, Rng &rng);
+
+    std::string name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &out_grads) override;
+    std::vector<Tensor *> parameters() override;
+    std::vector<Tensor *> gradients() override;
+    bool hasWeights() const override { return true; }
+
+    Tensor &weights() { return weights_; }
+    const Tensor &weights() const { return weights_; }
+    const Tensor &cachedInput() const { return input_; }
+    const ConvSpec &spec() const { return spec_; }
+
+  private:
+    std::string name_;
+    ConvSpec spec_;
+    Tensor weights_; ///< (F, C, K, K)
+    Tensor bias_;    ///< (1, F, 1, 1)
+    Tensor w_grads_;
+    Tensor b_grads_;
+    Tensor input_;
+};
+
+/** Fully connected layer over (N, C, 1, 1) tensors. */
+class LinearLayer : public Layer
+{
+  public:
+    LinearLayer(std::string name, int in_features, int out_features,
+                Rng &rng);
+
+    std::string name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &out_grads) override;
+    std::vector<Tensor *> parameters() override;
+    std::vector<Tensor *> gradients() override;
+    bool hasWeights() const override { return true; }
+
+    Tensor &weights() { return weights_; }
+    const Tensor &cachedInput() const { return input_; }
+
+  private:
+    std::string name_;
+    Tensor weights_; ///< (F, C, 1, 1)
+    Tensor bias_;
+    Tensor w_grads_;
+    Tensor b_grads_;
+    Tensor input_;
+};
+
+/** Rectified linear unit; the main source of natural sparsity. */
+class ReluLayer : public Layer
+{
+  public:
+    explicit ReluLayer(std::string name = "relu")
+        : name_(std::move(name))
+    {
+    }
+
+    std::string name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &out_grads) override;
+
+  private:
+    std::string name_;
+    Tensor mask_;
+};
+
+/** 2x2 max pooling with stride 2. */
+class MaxPool2x2Layer : public Layer
+{
+  public:
+    explicit MaxPool2x2Layer(std::string name = "maxpool")
+        : name_(std::move(name))
+    {
+    }
+
+    std::string name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &out_grads) override;
+
+  private:
+    std::string name_;
+    Shape in_shape_;
+    std::vector<int> argmax_;
+};
+
+/** Batch normalisation over channels (training mode). */
+class BatchNorm2dLayer : public Layer
+{
+  public:
+    BatchNorm2dLayer(std::string name, int channels, float eps = 1e-5f);
+
+    std::string name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &out_grads) override;
+    std::vector<Tensor *> parameters() override;
+    std::vector<Tensor *> gradients() override;
+
+  private:
+    std::string name_;
+    float eps_;
+    Tensor gamma_; ///< (1, C, 1, 1)
+    Tensor beta_;
+    Tensor g_grads_;
+    Tensor b_grads_;
+    // Cached forward state.
+    Tensor input_;
+    Tensor normalized_;
+    std::vector<float> mean_, var_;
+};
+
+/** Reshape (N, C, H, W) -> (N, C*H*W, 1, 1) for FC heads. */
+class FlattenLayer : public Layer
+{
+  public:
+    explicit FlattenLayer(std::string name = "flatten")
+        : name_(std::move(name))
+    {
+    }
+
+    std::string name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &out_grads) override;
+
+  private:
+    std::string name_;
+    Shape in_shape_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_NN_LAYERS_HH_

@@ -1,0 +1,49 @@
+#include "nn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const Shape &s = logits.shape();
+    TD_ASSERT(s.h == 1 && s.w == 1, "loss expects (N, classes, 1, 1)");
+    TD_ASSERT((int)labels.size() == s.n, "label count mismatch");
+
+    LossResult result;
+    result.logit_grads = Tensor(s);
+    int correct = 0;
+    for (int n = 0; n < s.n; ++n) {
+        TD_ASSERT(labels[n] >= 0 && labels[n] < s.c,
+                  "label %d out of range", labels[n]);
+        // Stabilised softmax.
+        float max_logit = logits.at(n, 0, 0, 0);
+        int argmax = 0;
+        for (int c = 1; c < s.c; ++c) {
+            if (logits.at(n, c, 0, 0) > max_logit) {
+                max_logit = logits.at(n, c, 0, 0);
+                argmax = c;
+            }
+        }
+        correct += argmax == labels[n];
+        double denom = 0.0;
+        for (int c = 0; c < s.c; ++c)
+            denom += std::exp((double)logits.at(n, c, 0, 0) - max_logit);
+        for (int c = 0; c < s.c; ++c) {
+            double p = std::exp((double)logits.at(n, c, 0, 0) -
+                                max_logit) / denom;
+            result.logit_grads.at(n, c, 0, 0) =
+                (float)((p - (c == labels[n] ? 1.0 : 0.0)) / s.n);
+            if (c == labels[n])
+                result.loss -= std::log(std::max(p, 1e-12)) / s.n;
+        }
+    }
+    result.accuracy = (double)correct / s.n;
+    return result;
+}
+
+} // namespace tensordash

@@ -1,0 +1,35 @@
+#ifndef TENSORDASH_NN_LOSS_HH_
+#define TENSORDASH_NN_LOSS_HH_
+
+/**
+ * @file
+ * Softmax cross-entropy loss for classification training.
+ */
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace tensordash {
+
+/** Loss value plus the gradient w.r.t. the logits. */
+struct LossResult
+{
+    double loss = 0.0;
+    double accuracy = 0.0;
+    Tensor logit_grads;
+};
+
+/**
+ * Softmax cross entropy over (N, classes, 1, 1) logits.
+ *
+ * @param logits network outputs
+ * @param labels target class per sample
+ * @return mean loss, top-1 accuracy and dL/dlogits
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+} // namespace tensordash
+
+#endif // TENSORDASH_NN_LOSS_HH_

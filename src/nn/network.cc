@@ -1,0 +1,96 @@
+#include "nn/network.hh"
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+void
+Network::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+Tensor
+Network::forward(const Tensor &input)
+{
+    layer_inputs_.clear();
+    Tensor x = input;
+    for (auto &layer : layers_) {
+        layer_inputs_.push_back(x);
+        x = layer->forward(x);
+    }
+    return x;
+}
+
+Tensor
+Network::backward(const Tensor &out_grads)
+{
+    layer_out_grads_.assign(layers_.size(), Tensor());
+    Tensor g = out_grads;
+    for (size_t i = layers_.size(); i-- > 0;) {
+        layer_out_grads_[i] = g;
+        g = layers_[i]->backward(g);
+    }
+    return g;
+}
+
+void
+Network::applyGradients(Sgd &opt)
+{
+    for (auto &layer : layers_) {
+        auto params = layer->parameters();
+        auto grads = layer->gradients();
+        TD_ASSERT(params.size() == grads.size(),
+                  "parameter/gradient count mismatch in %s",
+                  layer->name().c_str());
+        for (size_t i = 0; i < params.size(); ++i)
+            opt.step(*params[i], *grads[i]);
+    }
+}
+
+LossResult
+Network::trainStep(const Tensor &input, const std::vector<int> &labels,
+                   Sgd &opt, const TraceHook &hook)
+{
+    Tensor logits = forward(input);
+    LossResult loss = softmaxCrossEntropy(logits, labels);
+    backward(loss.logit_grads);
+
+    if (hook) {
+        std::vector<LayerTrace> traces;
+        for (size_t i = 0; i < layers_.size(); ++i) {
+            Layer *layer = layers_[i].get();
+            if (!layer->hasWeights())
+                continue;
+            LayerTrace t;
+            t.layer = layer->name();
+            t.acts = layer_inputs_[i];
+            t.grads = layer_out_grads_[i];
+            if (auto *conv = dynamic_cast<Conv2dLayer *>(layer)) {
+                t.weights = conv->weights();
+                t.spec = conv->spec();
+            } else if (auto *lin = dynamic_cast<LinearLayer *>(layer)) {
+                t.weights = lin->weights();
+                t.spec = ConvSpec{1, 0};
+                t.fc = true;
+            }
+            traces.push_back(std::move(t));
+        }
+        hook(traces);
+    }
+
+    applyGradients(opt);
+    return loss;
+}
+
+std::vector<Layer *>
+Network::weightedLayers()
+{
+    std::vector<Layer *> out;
+    for (auto &layer : layers_)
+        if (layer->hasWeights())
+            out.push_back(layer.get());
+    return out;
+}
+
+} // namespace tensordash

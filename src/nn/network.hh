@@ -1,0 +1,91 @@
+#ifndef TENSORDASH_NN_NETWORK_HH_
+#define TENSORDASH_NN_NETWORK_HH_
+
+/**
+ * @file
+ * Sequential network container and the training step.
+ */
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+
+namespace tensordash {
+
+/** Per-step operand snapshot for one weighted layer. */
+struct LayerTrace
+{
+    std::string layer;
+    Tensor acts;    ///< A: layer input
+    Tensor weights; ///< W
+    Tensor grads;   ///< GO: gradient of the layer output
+    ConvSpec spec;
+    bool fc = false;
+};
+
+/** Observer invoked after each training step with the operand traces. */
+using TraceHook = std::function<void(const std::vector<LayerTrace> &)>;
+
+/** A plain sequential network. */
+class Network
+{
+  public:
+    Network() = default;
+
+    /** Append a layer (takes ownership). */
+    void add(std::unique_ptr<Layer> layer);
+
+    /** Convenience: construct a layer in place. */
+    template <typename L, typename... Args>
+    L &
+    emplace(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L &ref = *layer;
+        add(std::move(layer));
+        return ref;
+    }
+
+    size_t size() const { return layers_.size(); }
+    Layer &layer(size_t i) { return *layers_[i]; }
+
+    /** Forward through all layers. */
+    Tensor forward(const Tensor &input);
+
+    /** Backward through all layers; returns input gradients. */
+    Tensor backward(const Tensor &out_grads);
+
+    /** Apply the optimizer to every parameter. */
+    void applyGradients(Sgd &opt);
+
+    /**
+     * One full training step: forward, loss, backward, update.
+     *
+     * @param input  mini-batch (N, C, H, W)
+     * @param labels class per sample
+     * @param opt    optimizer
+     * @param hook   optional trace observer (captures A/W/GO per
+     *               weighted layer before the update)
+     * @return loss/accuracy for the batch
+     */
+    LossResult trainStep(const Tensor &input,
+                         const std::vector<int> &labels, Sgd &opt,
+                         const TraceHook &hook = nullptr);
+
+    /** Weighted layers (conv / linear), for pruning and tracing. */
+    std::vector<Layer *> weightedLayers();
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+    // Per-step caches for trace capture.
+    std::vector<Tensor> layer_inputs_;
+    std::vector<Tensor> layer_out_grads_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_NN_NETWORK_HH_

@@ -1,0 +1,27 @@
+#include "nn/optimizer.hh"
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+void
+Sgd::step(Tensor &param, const Tensor &grad)
+{
+    TD_ASSERT(param.sameShape(grad), "optimizer shape mismatch");
+    auto [it, inserted] = velocities_.try_emplace(&param,
+                                                  param.shape());
+    Tensor &vel = it->second;
+    for (size_t i = 0; i < param.size(); ++i) {
+        vel[i] = momentum_ * vel[i] + grad[i];
+        param[i] -= lr_ * vel[i];
+    }
+}
+
+const Tensor *
+Sgd::velocity(const Tensor &param) const
+{
+    auto it = velocities_.find(&param);
+    return it == velocities_.end() ? nullptr : &it->second;
+}
+
+} // namespace tensordash

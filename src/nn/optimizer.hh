@@ -1,0 +1,51 @@
+#ifndef TENSORDASH_NN_OPTIMIZER_HH_
+#define TENSORDASH_NN_OPTIMIZER_HH_
+
+/**
+ * @file
+ * SGD with momentum (paper Eq. 10: weights update once per mini-batch).
+ */
+
+#include <map>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace tensordash {
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd
+{
+  public:
+    /**
+     * @param lr       learning rate (alpha in Eq. 10)
+     * @param momentum momentum coefficient (0 = plain SGD)
+     */
+    explicit Sgd(float lr, float momentum = 0.9f)
+        : lr_(lr), momentum_(momentum)
+    {
+    }
+
+    float learningRate() const { return lr_; }
+    void setLearningRate(float lr) { lr_ = lr; }
+
+    /**
+     * Apply one update: p -= lr * v, v = momentum * v + g.
+     *
+     * @param param    parameter tensor (identity keys the velocity)
+     * @param grad     gradient, same shape
+     */
+    void step(Tensor &param, const Tensor &grad);
+
+    /** Momentum magnitude accumulated for @p param (pruning uses it). */
+    const Tensor *velocity(const Tensor &param) const;
+
+  private:
+    float lr_;
+    float momentum_;
+    std::map<const Tensor *, Tensor> velocities_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_NN_OPTIMIZER_HH_

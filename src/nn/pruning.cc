@@ -1,0 +1,154 @@
+#include "nn/pruning.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+namespace {
+
+/** Weight tensor of a weighted layer. */
+Tensor &
+layerWeights(Layer *layer)
+{
+    if (auto *conv = dynamic_cast<Conv2dLayer *>(layer))
+        return conv->weights();
+    auto *lin = dynamic_cast<LinearLayer *>(layer);
+    TD_ASSERT(lin, "layer %s has no weights", layer->name().c_str());
+    return lin->weights();
+}
+
+} // namespace
+
+std::vector<uint8_t> &
+Pruner::mask(Tensor &weights)
+{
+    auto [it, inserted] =
+        masks_.try_emplace(&weights,
+                           std::vector<uint8_t>(weights.size(), 1));
+    return it->second;
+}
+
+void
+Pruner::initialize(Network &net, Rng &rng)
+{
+    for (Layer *layer : net.weightedLayers()) {
+        Tensor &w = layerWeights(layer);
+        auto &m = mask(w);
+        for (size_t i = 0; i < w.size(); ++i)
+            m[i] = rng.bernoulli((float)(1.0 - target_)) ? 1 : 0;
+    }
+    applyMasks(net);
+}
+
+void
+Pruner::applyMasks(Network &net)
+{
+    for (Layer *layer : net.weightedLayers()) {
+        Tensor &w = layerWeights(layer);
+        auto &m = mask(w);
+        for (size_t i = 0; i < w.size(); ++i)
+            if (!m[i])
+                w[i] = 0.0f;
+    }
+}
+
+double
+Pruner::measuredSparsity(Network &net)
+{
+    size_t zeros = 0, total = 0;
+    for (Layer *layer : net.weightedLayers()) {
+        Tensor &w = layerWeights(layer);
+        total += w.size();
+        zeros += w.size() - w.nonzeros();
+    }
+    return total ? (double)zeros / (double)total : 0.0;
+}
+
+namespace {
+
+/**
+ * Shared prune step: kill the `churn` weakest alive weights, then let
+ * the method-specific regrow policy revive the same number of dead
+ * slots via the supplied scoring function (higher score = revive
+ * first).
+ */
+template <typename ScoreFn>
+void
+pruneAndRegrow(Tensor &w, std::vector<uint8_t> &m, double target,
+               double churn_fraction, ScoreFn &&score)
+{
+    size_t n = w.size();
+    auto target_dead = (size_t)((double)n * target);
+    // Collect alive indices sorted by |w| ascending.
+    std::vector<size_t> alive, dead;
+    for (size_t i = 0; i < n; ++i)
+        (m[i] ? alive : dead).push_back(i);
+
+    size_t churn = (size_t)((double)n * target * churn_fraction);
+    churn = std::min(churn, alive.size());
+    std::partial_sort(alive.begin(), alive.begin() + churn, alive.end(),
+                      [&](size_t a, size_t b) {
+                          return std::fabs(w[a]) < std::fabs(w[b]);
+                      });
+    for (size_t k = 0; k < churn; ++k) {
+        m[alive[k]] = 0;
+        w[alive[k]] = 0.0f;
+        dead.push_back(alive[k]);
+    }
+
+    // Revive the highest-scoring dead slots until the target density is
+    // restored.
+    size_t want_alive = n - target_dead;
+    size_t now_alive = n - dead.size();
+    size_t revive = want_alive > now_alive ? want_alive - now_alive : 0;
+    revive = std::min(revive, dead.size());
+    std::partial_sort(dead.begin(), dead.begin() + revive, dead.end(),
+                      [&](size_t a, size_t b) {
+                          return score(a) > score(b);
+                      });
+    for (size_t k = 0; k < revive; ++k) {
+        m[dead[k]] = 1;
+        // Revived weights restart near zero; the epsilon keeps them
+        // distinguishable from pruned slots until gradients grow them.
+        w[dead[k]] = dead[k] % 2 ? 1e-3f : -1e-3f;
+    }
+}
+
+} // namespace
+
+void
+SparseMomentumPruner::epochUpdate(Network &net, Sgd &opt, Rng &rng)
+{
+    (void)rng;
+    for (Layer *layer : net.weightedLayers()) {
+        Tensor &w = layerWeights(layer);
+        auto &m = mask(w);
+        const Tensor *vel = opt.velocity(w);
+        pruneAndRegrow(w, m, target_, regrow_, [&](size_t i) {
+            // Momentum magnitude marks where gradient pressure wants
+            // new connections (Dettmers & Zettlemoyer).
+            return vel ? std::fabs((*vel)[i]) : 0.0f;
+        });
+    }
+}
+
+void
+DynamicSparseReparam::epochUpdate(Network &net, Sgd &opt, Rng &rng)
+{
+    (void)opt;
+    for (Layer *layer : net.weightedLayers()) {
+        Tensor &w = layerWeights(layer);
+        auto &m = mask(w);
+        pruneAndRegrow(w, m, target_, regrow_, [&](size_t i) {
+            // Uniform random regrowth (Mostafa & Wang).
+            (void)i;
+            return rng.uniform();
+        });
+    }
+}
+
+} // namespace tensordash

@@ -1,0 +1,88 @@
+#ifndef TENSORDASH_NN_PRUNING_HH_
+#define TENSORDASH_NN_PRUNING_HH_
+
+/**
+ * @file
+ * Training-time pruning methods (paper section 4: resnet50_DS90 /
+ * resnet50_SM90 stand-ins).
+ *
+ * Both maintain a target weight sparsity throughout training:
+ *
+ *  - SparseMomentumPruner (Dettmers & Zettlemoyer): prune the
+ *    smallest-magnitude weights each epoch, regrow where the momentum
+ *    magnitude is largest -- surviving capacity concentrates in
+ *    important filters.
+ *  - DynamicSparseReparam (Mostafa & Wang): adaptive-threshold pruning
+ *    with uniform random regrowth -- keeps sparsity well distributed.
+ *
+ * Pruned positions are masked to zero after every optimizer step, so
+ * the sparsity is visible to the accelerator in every trace.
+ */
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/network.hh"
+#include "nn/optimizer.hh"
+
+namespace tensordash {
+
+/** Base class: mask bookkeeping shared by both methods. */
+class Pruner
+{
+  public:
+    /**
+     * @param target_sparsity weight zero fraction to maintain
+     * @param regrow_fraction fraction of pruned slots reconsidered per
+     *        epoch (pruning/regrowth churn)
+     */
+    Pruner(double target_sparsity, double regrow_fraction = 0.1)
+        : target_(target_sparsity), regrow_(regrow_fraction)
+    {
+    }
+
+    virtual ~Pruner() = default;
+
+    double targetSparsity() const { return target_; }
+
+    /** Initialise masks: random sparse connectivity at the target. */
+    void initialize(Network &net, Rng &rng);
+
+    /** Re-apply masks (call after every optimizer step). */
+    void applyMasks(Network &net);
+
+    /** One prune/regrow cycle (call once per epoch). */
+    virtual void epochUpdate(Network &net, Sgd &opt, Rng &rng) = 0;
+
+    /** Current measured weight sparsity across weighted layers. */
+    double measuredSparsity(Network &net);
+
+  protected:
+    /** Mask for a weight tensor (1 = alive). */
+    std::vector<uint8_t> &mask(Tensor &weights);
+
+    double target_;
+    double regrow_;
+    std::map<const Tensor *, std::vector<uint8_t>> masks_;
+};
+
+/** Dettmers-style sparse momentum pruning. */
+class SparseMomentumPruner : public Pruner
+{
+  public:
+    using Pruner::Pruner;
+    void epochUpdate(Network &net, Sgd &opt, Rng &rng) override;
+};
+
+/** Mostafa-style dynamic sparse reparameterization. */
+class DynamicSparseReparam : public Pruner
+{
+  public:
+    using Pruner::Pruner;
+    void epochUpdate(Network &net, Sgd &opt, Rng &rng) override;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_NN_PRUNING_HH_

@@ -1,0 +1,55 @@
+#ifndef TENSORDASH_NN_TRACE_HH_
+#define TENSORDASH_NN_TRACE_HH_
+
+/**
+ * @file
+ * Trace-driven accelerator evaluation of real training steps.
+ *
+ * The paper samples one batch per epoch and traces the operands of the
+ * three convolutions.  TraceEvaluator does the same against our own
+ * training runs: it receives the LayerTrace snapshots a Network emits
+ * and runs each through the accelerator, aggregating per-op and total
+ * speedups.
+ */
+
+#include <vector>
+
+#include "nn/network.hh"
+#include "sim/accelerator.hh"
+
+namespace tensordash {
+
+/** Speedup summary of one traced training step. */
+struct TraceStepResult
+{
+    double speedup = 1.0;
+    std::array<double, 3> op_speedup{1.0, 1.0, 1.0};
+    double act_sparsity = 0.0;
+    double grad_sparsity = 0.0;
+    double weight_sparsity = 0.0;
+};
+
+/** Runs traced training steps through the accelerator. */
+class TraceEvaluator
+{
+  public:
+    explicit TraceEvaluator(const AcceleratorConfig &config)
+        : config_(config)
+    {
+    }
+
+    /**
+     * Evaluate one training step's traces.
+     *
+     * @param traces per-layer operand snapshots from Network::trainStep
+     * @return aggregate speedups and measured sparsities
+     */
+    TraceStepResult evaluate(const std::vector<LayerTrace> &traces);
+
+  private:
+    AcceleratorConfig config_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_NN_TRACE_HH_

@@ -1,0 +1,174 @@
+#include "sim/accelerator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/memory/compressing_dma.hh"
+#include "sim/memory/transposer.hh"
+
+namespace tensordash {
+
+Accelerator::Accelerator(const AcceleratorConfig &config)
+    : config_(config), tile_(config.tile),
+      energy_model_(config.geometry(), config.freq_ghz, config.dram,
+                    config.energy),
+      gate_(config.gate_min_sparsity)
+{
+    TD_ASSERT(config.tiles >= 1, "need at least one tile");
+}
+
+OpResult
+Accelerator::runOp(const LoweredOp &lowered, const std::string &gate_key)
+{
+    OpResult result;
+    result.op = lowered.op;
+    result.b_nonzero_slots = (double)lowered.b_nonzero_slots;
+    result.b_total_slots = (double)lowered.b_total_slots;
+    result.mac_slots = (double)lowered.total_mac_slots;
+
+    bool sparse_enabled = true;
+    if (config_.power_gating && !gate_key.empty())
+        sparse_enabled = gate_.enabled(gate_key);
+    result.gated = !sparse_enabled;
+
+    double base_cycles = 0.0;
+    double td_cycles = 0.0;
+    TileStats stats;
+    for (const TileJob &job : lowered.jobs) {
+        uint64_t dense = Tile::baselineCycles(job);
+        base_cycles += (double)dense * job.weight;
+        if (sparse_enabled) {
+            uint64_t cycles = tile_.run(job, stats);
+            td_cycles += (double)cycles * job.weight;
+        } else {
+            td_cycles += (double)dense * job.weight;
+        }
+    }
+
+    // Jobs spread round-robin over the tiles; with many jobs per layer
+    // the tiles stay balanced, so time is total job cycles / tiles.
+    result.base_cycles = base_cycles / config_.tiles;
+    result.td_cycles = td_cycles / config_.tiles;
+
+    // Staging traffic observed by the tiles, scaled to the full layer.
+    double scale = lowered.sampled_jobs
+        ? (double)lowered.total_jobs / (double)lowered.sampled_jobs
+        : 0.0;
+    result.activity.spad_row_reads =
+        (double)(stats.b_rows_fetched + stats.a_rows_fetched) * scale;
+    result.activity.spad_row_writes = result.activity.spad_row_reads;
+    // Each scratchpad row was first read from the shared SRAMs.
+    result.activity.sram_block_reads = result.activity.spad_row_reads;
+    // One accumulated output per (b, a) pair, written back in blocks.
+    double outputs = (double)lowered.out_shape.size();
+    result.activity.sram_block_writes = outputs / config_.tile.lanes;
+    result.activity.cycles = result.td_cycles;
+    return result;
+}
+
+OpResult
+Accelerator::runConvOp(TrainOp op, const Tensor &acts,
+                       const Tensor &weights, const Tensor &out_grads,
+                       const ConvSpec &spec, double out_sparsity)
+{
+    Dataflow dataflow(config_.dataflow(false));
+    LoweredOp lowered;
+    uint64_t in0_nz = 0, in0_total = 0, in1_nz = 0, in1_total = 0;
+    uint64_t out_total = 0;
+    uint64_t transposed = 0;
+    std::string gate_key;
+
+    switch (op) {
+      case TrainOp::Forward:
+        lowered = dataflow.lowerForward(acts, weights, spec,
+                                        config_.fwd_side);
+        in0_nz = acts.nonzeros();
+        in0_total = acts.size();
+        in1_nz = weights.nonzeros();
+        in1_total = weights.size();
+        out_total = lowered.out_shape.size();
+        gate_key = lowered.b_is_default_side ? "acts" : "weights";
+        break;
+      case TrainOp::BackwardData:
+        lowered = dataflow.lowerBackwardData(out_grads, weights,
+                                             acts.shape(), spec,
+                                             config_.bwd_data_side);
+        in0_nz = out_grads.nonzeros();
+        in0_total = out_grads.size();
+        in1_nz = weights.nonzeros();
+        in1_total = weights.size();
+        out_total = lowered.out_shape.size();
+        // The reconstructed filters pass through the transposers.
+        transposed = weights.size();
+        gate_key = lowered.b_is_default_side ? "grads" : "weights";
+        break;
+      case TrainOp::BackwardWeights:
+        lowered = dataflow.lowerBackwardWeights(
+            out_grads, acts, weights.shape().h, weights.shape().w, spec,
+            config_.wg_side);
+        in0_nz = out_grads.nonzeros();
+        in0_total = out_grads.size();
+        in1_nz = acts.nonzeros();
+        in1_total = acts.size();
+        out_total = lowered.out_shape.size();
+        // Gradients are re-bundled per filter (transposed layout).
+        transposed = out_grads.size();
+        gate_key = lowered.wg_b_is_gradients ? "grads" : "acts";
+        break;
+    }
+
+    OpResult result = runOp(lowered, gate_key);
+    chargeMemory(result, lowered, in0_nz, in0_total, in1_nz, in1_total,
+                 out_total, out_sparsity, transposed);
+    return result;
+}
+
+void
+Accelerator::chargeMemory(OpResult &result, const LoweredOp &lowered,
+                          uint64_t in0_nz, uint64_t in0_total,
+                          uint64_t in1_nz, uint64_t in1_total,
+                          uint64_t out_total, double out_sparsity,
+                          uint64_t transposed_values)
+{
+    (void)lowered;
+    int vb = dataTypeBytes(config_.dtype);
+    // Inputs stream in once per op, outputs stream out once; both are
+    // CompressingDMA zero-compressed (baseline and TensorDash alike).
+    result.activity.dram_read_bytes =
+        (double)CompressingDma::compressedBytes(in0_nz, in0_total, vb) +
+        (double)CompressingDma::compressedBytes(in1_nz, in1_total, vb);
+    auto out_nz = (uint64_t)((double)out_total *
+                             std::clamp(1.0 - out_sparsity, 0.0, 1.0));
+    result.activity.dram_write_bytes =
+        (double)CompressingDma::compressedBytes(out_nz, out_total, vb);
+    result.activity.transposer_groups =
+        (double)transposed_values / (kGroupDim * kGroupDim);
+}
+
+Tensor
+Accelerator::runFunctional(const LoweredOp &lowered) const
+{
+    TD_ASSERT(lowered.exhaustive(),
+              "functional runs need exhaustive lowering");
+    Tensor out(lowered.out_shape);
+    Tile tile(config_.tile);
+    std::vector<std::vector<double>> outputs;
+    TileStats stats;
+    for (size_t j = 0; j < lowered.jobs.size(); ++j) {
+        tile.run(lowered.jobs[j], stats, &outputs);
+        Dataflow::scatter(lowered, j, outputs, out);
+    }
+    return out;
+}
+
+EnergyBreakdown
+Accelerator::energy(const OpResult &result, bool tensordash) const
+{
+    RunActivity activity = result.activity;
+    activity.cycles = tensordash ? result.td_cycles : result.base_cycles;
+    // A gated TensorDash run draws baseline power.
+    bool td_power = tensordash && !result.gated;
+    return energy_model_.compute(activity, td_power);
+}
+
+} // namespace tensordash

@@ -1,0 +1,205 @@
+#ifndef TENSORDASH_SIM_ACCELERATOR_HH_
+#define TENSORDASH_SIM_ACCELERATOR_HH_
+
+/**
+ * @file
+ * Top-level accelerator model (paper Table 2 defaults: 16 tiles of
+ * 4x4 16-MAC PEs, 4096 MACs/cycle at 500 MHz, AM/BM/CM SRAM, 15
+ * transposers, 4-channel LPDDR4-3200 off-chip behind CompressingDMA).
+ *
+ * The accelerator runs lowered training operations: tile jobs are
+ * distributed round-robin across tiles, cycle counts are estimated from
+ * sampled jobs (weights scale them back to the full layer), and memory
+ * traffic is charged analytically from the tensors involved.
+ */
+
+#include <cstdint>
+
+#include "sim/area_model.hh"
+#include "sim/dataflow.hh"
+#include "sim/energy.hh"
+#include "sim/memory/dram.hh"
+#include "sim/power_gate.hh"
+#include "sim/tile.hh"
+#include "tensor/conv_ref.hh"
+#include "tensor/tensor.hh"
+
+namespace tensordash {
+
+/** Full accelerator configuration. */
+struct AcceleratorConfig
+{
+    int tiles = 16;
+    TileConfig tile;
+    DataType dtype = DataType::Fp32;
+    double freq_ghz = 0.5;
+    DramConfig dram;
+    EnergyConstants energy;
+
+    /** Per-op dense-MAC sampling cap (0 = exhaustive). */
+    uint64_t max_sampled_macs = 1500000;
+    uint64_t seed = 1;
+
+    /** Enable the automatic power gating of section 3.5. */
+    bool power_gating = false;
+
+    /**
+     * Minimum B-side sparsity for power gating to keep the front end
+     * enabled.  Break-even sits where the speedup repays the ~2% power
+     * overhead; 10% leaves comfortable margin.
+     */
+    double gate_min_sparsity = 0.10;
+
+    /**
+     * Scheduled-side policies per op.  Defaults follow the paper:
+     * activations for the forward pass, gradients for backward-data,
+     * and GO-or-A-whichever-is-sparser for backward-weights.  Auto
+     * (pick the sparser operand, including the weights) is available
+     * as an extension and exercised by the side-policy ablation bench.
+     */
+    FwdSide fwd_side = FwdSide::Activations;
+    BwdDataSide bwd_data_side = BwdDataSide::Gradients;
+    WgSide wg_side = WgSide::Auto;
+
+    /** Geometry handed to the area/energy models. */
+    ArchGeometry
+    geometry() const
+    {
+        ArchGeometry g;
+        g.tiles = tiles;
+        g.rows = tile.rows;
+        g.cols = tile.cols;
+        g.lanes = tile.lanes;
+        g.depth = tile.depth;
+        g.mux_options = (int)MuxPattern::paperMoves(tile.depth).size();
+        g.dtype = dtype;
+        return g;
+    }
+
+    /** Dataflow configuration derived from this accelerator. */
+    DataflowConfig
+    dataflow(bool with_values = false) const
+    {
+        DataflowConfig d;
+        d.rows = tile.rows;
+        d.cols = tile.cols;
+        d.lanes = tile.lanes;
+        d.max_sampled_macs = with_values ? 0 : max_sampled_macs;
+        d.seed = seed;
+        d.with_values = with_values;
+        return d;
+    }
+};
+
+/** Result of running one training operation. */
+struct OpResult
+{
+    TrainOp op = TrainOp::Forward;
+
+    /** Accelerator cycles (weighted to the full layer, all tiles). */
+    double base_cycles = 0.0;
+    double td_cycles = 0.0;
+
+    /** Work-reduction potential on the scheduled side (Fig. 1). */
+    double b_nonzero_slots = 0.0;
+    double b_total_slots = 0.0;
+
+    /** Dense MAC slots in the full operation. */
+    double mac_slots = 0.0;
+
+    /** Memory/compute activity shared by baseline and TensorDash
+     * (cycles field unused here; see energy()). */
+    RunActivity activity;
+
+    /** True when power gating disabled the sparse front end. */
+    bool gated = false;
+
+    double
+    speedup() const
+    {
+        return td_cycles > 0.0 ? base_cycles / td_cycles : 1.0;
+    }
+
+    double
+    potentialSpeedup() const
+    {
+        return b_nonzero_slots > 0.0 ? b_total_slots / b_nonzero_slots
+                                     : 1.0;
+    }
+
+    void
+    merge(const OpResult &o)
+    {
+        base_cycles += o.base_cycles;
+        td_cycles += o.td_cycles;
+        b_nonzero_slots += o.b_nonzero_slots;
+        b_total_slots += o.b_total_slots;
+        mac_slots += o.mac_slots;
+        activity.merge(o.activity);
+    }
+};
+
+/** Cycle-level accelerator simulator. */
+class Accelerator
+{
+  public:
+    explicit Accelerator(const AcceleratorConfig &config);
+
+    const AcceleratorConfig &config() const { return config_; }
+    PowerGateController &powerGate() { return gate_; }
+
+    /**
+     * Run one lowered operation (performance mode).
+     *
+     * @param lowered  sampled tile jobs
+     * @param gate_key power-gating identity of the scheduled operand
+     *                 ("" = never gate)
+     * @return cycle counts and tile-side activity
+     */
+    OpResult runOp(const LoweredOp &lowered,
+                   const std::string &gate_key = "");
+
+    /**
+     * Lower and run one convolution training op including the memory
+     * traffic charge.
+     *
+     * @param op            which training convolution
+     * @param acts          A (N, C, H, W)
+     * @param weights       W (F, C, Kh, Kw)
+     * @param out_grads     GO (N, F, Oh, Ow); may be empty for Forward
+     * @param spec          stride/padding
+     * @param out_sparsity  estimated zero fraction of the op's output
+     *                      (used to size the compressed write-back)
+     */
+    OpResult runConvOp(TrainOp op, const Tensor &acts,
+                       const Tensor &weights, const Tensor &out_grads,
+                       const ConvSpec &spec, double out_sparsity = 0.0);
+
+    /**
+     * Functional run: exhaustive lowering with values, producing the
+     * op's full output tensor through the TensorDash tiles.
+     */
+    Tensor runFunctional(const LoweredOp &lowered) const;
+
+    /** Energy for an op result (baseline or TensorDash). */
+    EnergyBreakdown energy(const OpResult &result, bool tensordash) const;
+
+    /** The energy model in use. */
+    const EnergyModel &energyModel() const { return energy_model_; }
+
+  private:
+    void chargeMemory(OpResult &result, const LoweredOp &lowered,
+                      uint64_t in0_nz, uint64_t in0_total,
+                      uint64_t in1_nz, uint64_t in1_total,
+                      uint64_t out_total, double out_sparsity,
+                      uint64_t transposed_values);
+
+    AcceleratorConfig config_;
+    Tile tile_;
+    EnergyModel energy_model_;
+    PowerGateController gate_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_ACCELERATOR_HH_

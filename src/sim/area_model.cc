@@ -1,0 +1,202 @@
+#include "sim/area_model.hh"
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+namespace {
+
+// Per-unit constants at 65nm, back-derived from paper Table 3 at the
+// default geometry (16 tiles x 16 PEs x 16 MACs, FP32, 15 transposers).
+// Compute cores: 30.41 mm^2 / 13910 mW over 4096 MACs.
+constexpr double kMacAreaMm2 = 30.41 / 4096.0;
+constexpr double kMacPowerMw = 13910.0 / 4096.0;
+
+// Transposers: 0.38 mm^2 / 47.3 mW over 15 units.
+constexpr double kTransposerAreaMm2 = 0.38 / 15.0;
+constexpr double kTransposerPowerMw = 47.3 / 15.0;
+
+// Schedulers + B-side muxes: 0.91 mm^2 / 102.8 mW over 64 row units
+// (16 tiles x 4 rows).  The mux block cost is tied to the A-side mux
+// constant (same physical structure); the scheduler is the remainder.
+constexpr double kAMuxBlockAreaMm2 = 1.73 / 256.0;   // per PE
+constexpr double kAMuxBlockPowerMw = 145.3 / 256.0;
+constexpr double kBMuxBlockAreaMm2 = kAMuxBlockAreaMm2;
+constexpr double kBMuxBlockPowerMw = kAMuxBlockPowerMw;
+constexpr double kSchedulerAreaMm2 = 0.91 / 64.0 - kBMuxBlockAreaMm2;
+constexpr double kSchedulerPowerMw = 102.8 / 64.0 - kBMuxBlockPowerMw;
+
+// On-chip SRAM (CACTI, 65nm): each of AM/BM/CM needs 192 mm^2 (paper
+// section 4.3); scratchpads total 17 mm^2.
+constexpr double kSramChunkAreaMm2 = 192.0;
+constexpr double kScratchpadAreaMm2 = 17.0;
+
+// bfloat16 scaling (section 4.4): multipliers shrink ~quadratically
+// with mantissa width while comparators/muxes shrink linearly and the
+// priority encoders not at all.  These factors reproduce the paper's
+// 1.13x compute area and 1.05x compute power overheads.
+constexpr double kBf16ComputeAreaScale = 0.388;
+constexpr double kBf16ComputePowerScale = 0.2154;
+constexpr double kBf16LinearScale = 0.5;
+
+} // namespace
+
+const char *
+dataTypeName(DataType dtype)
+{
+    return dtype == DataType::Fp32 ? "fp32" : "bf16";
+}
+
+int
+dataTypeBytes(DataType dtype)
+{
+    return dtype == DataType::Fp32 ? 4 : 2;
+}
+
+AreaModel::AreaModel(const ArchGeometry &geometry) : geometry_(geometry)
+{
+    TD_ASSERT(geometry.tiles >= 1 && geometry.rows >= 1 &&
+              geometry.cols >= 1 && geometry.lanes >= 1,
+              "invalid geometry");
+}
+
+double
+AreaModel::dtypeLinearScale() const
+{
+    return geometry_.dtype == DataType::Fp32 ? 1.0 : kBf16LinearScale;
+}
+
+double
+AreaModel::dtypeComputeAreaScale() const
+{
+    return geometry_.dtype == DataType::Fp32 ? 1.0
+                                             : kBf16ComputeAreaScale;
+}
+
+double
+AreaModel::dtypeComputePowerScale() const
+{
+    return geometry_.dtype == DataType::Fp32 ? 1.0
+                                             : kBf16ComputePowerScale;
+}
+
+AreaPower
+AreaModel::computeCores() const
+{
+    double macs = (double)geometry_.tiles * geometry_.rows *
+                  geometry_.cols * geometry_.lanes;
+    return {macs * kMacAreaMm2 * dtypeComputeAreaScale(),
+            macs * kMacPowerMw * dtypeComputePowerScale()};
+}
+
+AreaPower
+AreaModel::transposers() const
+{
+    double n = geometry_.transposers;
+    return {n * kTransposerAreaMm2 * dtypeLinearScale(),
+            n * kTransposerPowerMw * dtypeLinearScale()};
+}
+
+AreaPower
+AreaModel::schedulersAndBMux() const
+{
+    // One scheduler and one B-side mux block per tile row.  Both scale
+    // with lane count; mux blocks also scale with fan-in and datatype,
+    // schedulers (priority encoders) with fan-in only.
+    double rows = (double)geometry_.tiles * geometry_.rows;
+    double lane_scale = geometry_.lanes / 16.0;
+    double fanin_scale = geometry_.mux_options / 8.0;
+    double sched_area = kSchedulerAreaMm2 * lane_scale * fanin_scale;
+    double sched_power = kSchedulerPowerMw * lane_scale * fanin_scale;
+    double mux_area = kBMuxBlockAreaMm2 * lane_scale * fanin_scale *
+                      dtypeLinearScale();
+    double mux_power = kBMuxBlockPowerMw * lane_scale * fanin_scale *
+                       dtypeLinearScale();
+    return {rows * (sched_area + mux_area),
+            rows * (sched_power + mux_power)};
+}
+
+AreaPower
+AreaModel::aMux() const
+{
+    double pes = (double)geometry_.tiles * geometry_.rows *
+                 geometry_.cols;
+    double lane_scale = geometry_.lanes / 16.0;
+    double fanin_scale = geometry_.mux_options / 8.0;
+    return {pes * kAMuxBlockAreaMm2 * lane_scale * fanin_scale *
+                dtypeLinearScale(),
+            pes * kAMuxBlockPowerMw * lane_scale * fanin_scale *
+                dtypeLinearScale()};
+}
+
+AreaPower
+AreaModel::baselineTotal() const
+{
+    return computeCores() + transposers();
+}
+
+AreaPower
+AreaModel::tensorDashTotal() const
+{
+    return baselineTotal() + schedulersAndBMux() + aMux();
+}
+
+double
+AreaModel::onChipSramArea() const
+{
+    // Three chunks (AM, BM, CM); SRAM area scales with capacity which
+    // scales with tile count, and with the storage width.
+    double tile_scale = geometry_.tiles / 16.0;
+    return 3.0 * kSramChunkAreaMm2 * tile_scale * dtypeLinearScale();
+}
+
+double
+AreaModel::scratchpadArea() const
+{
+    double pe_scale = (double)geometry_.tiles * geometry_.rows *
+                      geometry_.cols / 256.0;
+    return kScratchpadAreaMm2 * pe_scale * dtypeLinearScale();
+}
+
+double
+AreaModel::fullChipAreaOverhead() const
+{
+    double mem = onChipSramArea() + scratchpadArea();
+    double base = baselineTotal().area_mm2 + mem;
+    double td = tensorDashTotal().area_mm2 + mem;
+    return td / base;
+}
+
+Table
+AreaModel::table3() const
+{
+    Table t("Table 3: Area [mm2] and Power [mW], TensorDash vs Baseline (" +
+            std::string(dataTypeName(geometry_.dtype)) + ")");
+    t.header({"Component", "Area TD", "Area Base", "Power TD",
+              "Power Base"});
+    AreaPower cores = computeCores();
+    AreaPower transp = transposers();
+    AreaPower sched = schedulersAndBMux();
+    AreaPower amux = aMux();
+    AreaPower base = baselineTotal();
+    AreaPower td = tensorDashTotal();
+
+    t.row({"Compute Cores", fmtDouble(cores.area_mm2, 2),
+           fmtDouble(cores.area_mm2, 2), fmtDouble(cores.power_mw, 0),
+           fmtDouble(cores.power_mw, 0)});
+    t.row({"Transposers", fmtDouble(transp.area_mm2, 2),
+           fmtDouble(transp.area_mm2, 2), fmtDouble(transp.power_mw, 1),
+           fmtDouble(transp.power_mw, 1)});
+    t.row({"Schedulers+B-Side MUXes", fmtDouble(sched.area_mm2, 2), "-",
+           fmtDouble(sched.power_mw, 1), "-"});
+    t.row({"A-Side MUXes", fmtDouble(amux.area_mm2, 2), "-",
+           fmtDouble(amux.power_mw, 1), "-"});
+    t.row({"Total", fmtDouble(td.area_mm2, 2),
+           fmtDouble(base.area_mm2, 2), fmtDouble(td.power_mw, 0),
+           fmtDouble(base.power_mw, 0)});
+    t.row({"Normalized", fmtDouble(td.area_mm2 / base.area_mm2, 2) + "x",
+           "1x", fmtDouble(td.power_mw / base.power_mw, 2) + "x", "1x"});
+    return t;
+}
+
+} // namespace tensordash

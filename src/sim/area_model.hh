@@ -1,0 +1,115 @@
+#ifndef TENSORDASH_SIM_AREA_MODEL_HH_
+#define TENSORDASH_SIM_AREA_MODEL_HH_
+
+/**
+ * @file
+ * Analytical area/power model (paper section 4.3, Table 3).
+ *
+ * The paper synthesised its designs with Synopsys DC + Cadence Innovus
+ * at 65nm.  We back-derive per-unit constants from the published Table 3
+ * breakdown at the default configuration (16 tiles x 4x4 PEs x 16-MAC
+ * FP32) and scale them with the configuration:
+ *
+ *   - compute cores scale with MAC count,
+ *   - mux blocks scale with lane count, option fan-in and data width,
+ *   - schedulers scale with lane count (priority encoders do not shrink
+ *     with the datatype),
+ *   - transposer buffers scale with data width.
+ *
+ * bfloat16 scaling follows section 4.4: multipliers shrink roughly
+ * quadratically, comparators and muxes linearly, encoders not at all;
+ * the derived factors reproduce the paper's 1.13x area / 1.05x power
+ * compute-logic overheads.
+ */
+
+#include <string>
+
+#include "common/table.hh"
+#include "sim/tile.hh"
+
+namespace tensordash {
+
+/** Arithmetic datatype of the MAC datapath. */
+enum class DataType { Fp32, Bf16 };
+
+/** @return "fp32" or "bf16". */
+const char *dataTypeName(DataType dtype);
+
+/** @return storage bytes per value. */
+int dataTypeBytes(DataType dtype);
+
+/** Geometry the area model needs. */
+struct ArchGeometry
+{
+    int tiles = 16;
+    int rows = 4;
+    int cols = 4;
+    int lanes = 16;
+    int depth = 3;
+    int mux_options = 8;
+    int transposers = 15;
+    DataType dtype = DataType::Fp32;
+};
+
+/** Area (mm^2) and power (mW) of one component. */
+struct AreaPower
+{
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+
+    AreaPower
+    operator+(const AreaPower &o) const
+    {
+        return {area_mm2 + o.area_mm2, power_mw + o.power_mw};
+    }
+};
+
+/** Area/power model for baseline and TensorDash accelerators. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const ArchGeometry &geometry);
+
+    const ArchGeometry &geometry() const { return geometry_; }
+
+    /** MAC datapath (multipliers, adder trees, accumulators). */
+    AreaPower computeCores() const;
+
+    /** Transposer units (present in baseline and TensorDash). */
+    AreaPower transposers() const;
+
+    /** Row schedulers plus B-side staging multiplexers (TensorDash). */
+    AreaPower schedulersAndBMux() const;
+
+    /** Per-PE A-side multiplexer blocks (TensorDash). */
+    AreaPower aMux() const;
+
+    /** Baseline total (cores + transposers). */
+    AreaPower baselineTotal() const;
+
+    /** TensorDash total (baseline + schedulers + muxes). */
+    AreaPower tensorDashTotal() const;
+
+    /** On-chip SRAM area for the AM+BM+CM memories (mm^2). */
+    double onChipSramArea() const;
+
+    /** Scratchpad area (mm^2). */
+    double scratchpadArea() const;
+
+    /** Area overhead including on-chip memories (paper: 1.0005x). */
+    double fullChipAreaOverhead() const;
+
+    /** Render the paper's Table 3 for this geometry. */
+    Table table3() const;
+
+  private:
+    double dtypeLinearScale() const;
+    double dtypeComputeAreaScale() const;
+    double dtypeComputePowerScale() const;
+
+    ArchGeometry geometry_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_AREA_MODEL_HH_

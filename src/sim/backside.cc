@@ -1,0 +1,15 @@
+#include "sim/backside.hh"
+
+namespace tensordash {
+
+ScheduledStream
+BacksideScheduler::schedule(const BlockStream &dense,
+                            uint64_t *cycles) const
+{
+    ScheduledStream out = front_.schedule(dense);
+    if (cycles)
+        *cycles = (uint64_t)out.rows.size() * cyclesPerRow();
+    return out;
+}
+
+} // namespace tensordash

@@ -1,0 +1,73 @@
+#ifndef TENSORDASH_SIM_BACKSIDE_HH_
+#define TENSORDASH_SIM_BACKSIDE_HH_
+
+/**
+ * @file
+ * The backside scheduler (paper section 3.7).
+ *
+ * Instead of scheduling inputs just before the PEs, a scheduler at the
+ * PE outputs pre-schedules values as they are produced so they are
+ * stored in scheduled (value, idx) form.  Because an output emerges
+ * only every several cycles, the backside scheduler can be *iterative*:
+ * it reuses a single level of the hierarchical scheduler over
+ * `levels()` cycles per block instead of instantiating all six,
+ * trading latency for area.
+ */
+
+#include <cstdint>
+
+#include "sim/mux_pattern.hh"
+#include "sim/prescheduler.hh"
+
+namespace tensordash {
+
+/** Iterative output-side scheduler. */
+class BacksideScheduler
+{
+  public:
+    explicit BacksideScheduler(const MuxPattern &pattern)
+        : pattern_(&pattern), front_(pattern)
+    {
+    }
+
+    const MuxPattern &pattern() const { return *pattern_; }
+
+    /**
+     * Schedule an output stream into packed form.
+     *
+     * Produces exactly the same packing as the front-side
+     * PreScheduler (the hierarchy is evaluated level-by-level either
+     * way); only the timing differs.
+     *
+     * @param dense  output stream to pack
+     * @param cycles out-parameter: cycles the iterative hardware needs
+     *               (levels() per packed row)
+     */
+    ScheduledStream schedule(const BlockStream &dense,
+                             uint64_t *cycles = nullptr) const;
+
+    /** Cycles per packed row for the iterative implementation. */
+    int
+    cyclesPerRow() const
+    {
+        return (int)pattern_->levels().size();
+    }
+
+    /**
+     * @return true when the iterative scheduler keeps up with a PE
+     * producing one output block every @p pe_cycles_per_block cycles.
+     */
+    bool
+    keepsUpWith(int pe_cycles_per_block) const
+    {
+        return pe_cycles_per_block >= cyclesPerRow();
+    }
+
+  private:
+    const MuxPattern *pattern_;
+    PreScheduler front_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_BACKSIDE_HH_

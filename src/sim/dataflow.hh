@@ -1,0 +1,176 @@
+#ifndef TENSORDASH_SIM_DATAFLOW_HH_
+#define TENSORDASH_SIM_DATAFLOW_HH_
+
+/**
+ * @file
+ * Lowering of the three training convolutions (paper section 2, Table 1)
+ * onto TensorDash tiles.
+ *
+ * Each operation is decomposed into an output grid: one axis is handled
+ * by tile rows (the *scheduled* B side, the operand whose sparsity
+ * TensorDash targets) and the other by tile columns (the passive A
+ * side).  The reduction dimension is flattened and chopped into
+ * lane-wide rows; PE(r, c) accumulates the full dot product for output
+ * (row r, column c).
+ *
+ *   op              B side (scheduled)         A side (passive)
+ *   O  = W (*) A    activation windows         filters
+ *   GA = GO (*) W'  dilated gradient windows   reconstructed filters
+ *   GW = GO (*) A   per-filter gradient maps   activation taps (c,ky,kx)
+ *                   or activation taps, whichever side is sparser
+ *
+ * Structural zeros from stride dilation and boundary padding appear as
+ * genuine zeros in the gathered streams -- exactly what the hardware
+ * sees -- and the baseline pays the same dense cycle for them.
+ *
+ * Full layers are too large to simulate exhaustively, so lower() can
+ * sample the job grid; each sampled job carries a weight so aggregate
+ * cycle counts remain unbiased estimates of the full layer.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/tile.hh"
+#include "tensor/conv_ref.hh"
+#include "tensor/tensor.hh"
+
+namespace tensordash {
+
+/** The three per-layer training operations. */
+enum class TrainOp { Forward, BackwardData, BackwardWeights };
+
+/** @return short name, e.g. "AxW" as the paper labels the operations. */
+const char *trainOpName(TrainOp op);
+
+/** Which operand the B (scheduled) side carries for GW = GO (*) A. */
+enum class WgSide
+{
+    Gradients,  ///< schedule GO (per-filter gradient maps)
+    Activations,///< schedule A (per-tap activation maps)
+    Auto,       ///< pick the sparser tensor (the paper's policy)
+};
+
+/**
+ * Which operand the B side carries for O = W (*) A.  Activations are
+ * the paper's default; for models pruned during training the weights
+ * are far sparser and the symmetric mapping (rows = filters) wins.
+ */
+enum class FwdSide { Activations, Weights, Auto };
+
+/** Which operand the B side carries for GA = GO (*) W'. */
+enum class BwdDataSide { Gradients, Weights, Auto };
+
+/** Dataflow/sampling configuration. */
+struct DataflowConfig
+{
+    int rows = 4;
+    int cols = 4;
+    int lanes = 16;
+
+    /**
+     * Cap on dense MAC slots sampled per lowered operation; 0 disables
+     * sampling (lower the entire layer).
+     */
+    uint64_t max_sampled_macs = 0;
+
+    /** Seed for the job sampler. */
+    uint64_t seed = 1;
+
+    /** Keep operand values (functional mode) or just masks. */
+    bool with_values = false;
+};
+
+/** A lowered operation: sampled tile jobs plus scatter metadata. */
+struct LoweredOp
+{
+    TrainOp op = TrainOp::Forward;
+
+    /** Sampled jobs; each job's weight scales it to the full layer. */
+    std::vector<TileJob> jobs;
+
+    /** Dense reduction rows (steps) per output. */
+    int steps = 0;
+
+    /** Total dense MAC slots in the full operation. */
+    uint64_t total_mac_slots = 0;
+
+    /** Total jobs in the full grid / jobs actually sampled. */
+    uint64_t total_jobs = 0;
+    uint64_t sampled_jobs = 0;
+
+    /** Nonzero B-side operand slots (for potential-speedup accounting). */
+    uint64_t b_nonzero_slots = 0;
+    uint64_t b_total_slots = 0;
+
+    /** Output tensor shape for scatter(). */
+    Shape out_shape;
+
+    /** B/A output indices per job (parallel to jobs). */
+    std::vector<std::vector<int>> job_b_ids;
+    std::vector<std::vector<int>> job_a_ids;
+
+    /**
+     * For BackwardWeights only: true when the scheduled B side carries
+     * the gradients (filters), false when it carries activation taps.
+     */
+    bool wg_b_is_gradients = true;
+
+    /**
+     * True when the B side carries the paper-default operand for the
+     * op (A for forward, GO for backward-data); false when the side
+     * policy flipped the mapping to exploit weight sparsity.
+     */
+    bool b_is_default_side = true;
+
+    /** True when every job of the full grid was generated. */
+    bool exhaustive() const { return sampled_jobs == total_jobs; }
+};
+
+/** Lowers training convolutions into tile jobs. */
+class Dataflow
+{
+  public:
+    explicit Dataflow(const DataflowConfig &config) : config_(config) {}
+
+    const DataflowConfig &config() const { return config_; }
+
+    /** Lower O = W (*) A.  B side per @p side policy. */
+    LoweredOp lowerForward(const Tensor &acts, const Tensor &weights,
+                           const ConvSpec &spec,
+                           FwdSide side = FwdSide::Activations) const;
+
+    /** Lower GA = GO (*) W'.  B side per @p side policy. */
+    LoweredOp lowerBackwardData(const Tensor &out_grads,
+                                const Tensor &weights,
+                                const Shape &input_shape,
+                                const ConvSpec &spec,
+                                BwdDataSide side =
+                                    BwdDataSide::Gradients) const;
+
+    /** Lower GW = GO (*) A.  B side per @p side policy. */
+    LoweredOp lowerBackwardWeights(const Tensor &out_grads,
+                                   const Tensor &acts, int kernel_h,
+                                   int kernel_w, const ConvSpec &spec,
+                                   WgSide side = WgSide::Auto) const;
+
+    /**
+     * Scatter one job's functional outputs into the result tensor.
+     *
+     * @param lowered the lowering that produced @p job_index
+     * @param job_index index into lowered.jobs
+     * @param outputs  accumulators returned by Tile::run
+     * @param result   output tensor with lowered.out_shape
+     */
+    static void scatter(const LoweredOp &lowered, size_t job_index,
+                        const std::vector<std::vector<double>> &outputs,
+                        Tensor &result);
+
+  private:
+    DataflowConfig config_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_DATAFLOW_HH_

@@ -1,0 +1,54 @@
+#include "sim/energy.hh"
+
+namespace tensordash {
+
+EnergyModel::EnergyModel(const ArchGeometry &geometry, double freq_ghz,
+                         DramConfig dram, EnergyConstants constants)
+    : area_(geometry), freq_ghz_(freq_ghz), dram_(dram),
+      constants_(constants),
+      // SRAM/scratchpad access energy scales with the stored width.
+      value_scale_(geometry.dtype == DataType::Fp32 ? 1.0 : 0.5)
+{
+}
+
+double
+EnergyModel::corePowerMw(bool tensordash) const
+{
+    AreaPower p = tensordash ? area_.tensorDashTotal()
+                             : area_.baselineTotal();
+    return p.power_mw;
+}
+
+EnergyBreakdown
+EnergyModel::compute(const RunActivity &activity, bool tensordash) const
+{
+    EnergyBreakdown out;
+
+    // Core: power x time (the transposer power rides along in the
+    // AreaModel totals; its per-group switching energy is charged with
+    // the memory system below).
+    double seconds = activity.cycles / (freq_ghz_ * 1e9);
+    out.core_j = corePowerMw(tensordash) * 1e-3 * seconds;
+
+    double sram_pj =
+        activity.sram_block_reads * constants_.sram_read_pj +
+        activity.sram_block_writes * constants_.sram_write_pj;
+    double spad_pj =
+        (activity.spad_row_reads + activity.spad_row_writes) *
+        constants_.spad_access_pj;
+    double transposer_pj =
+        activity.transposer_groups * constants_.transposer_group_pj;
+    // Leakage scales with SRAM capacity (tile count, storage width).
+    double leak_mw = constants_.sram_leakage_mw *
+                     (area_.geometry().tiles / 16.0) * value_scale_;
+    double leak_j = leak_mw * 1e-3 * seconds;
+    out.sram_j = (sram_pj + spad_pj + transposer_pj) * value_scale_ *
+                 1e-12 + leak_j;
+
+    out.dram_j = (activity.dram_read_bytes * dram_.pj_per_byte_read +
+                  activity.dram_write_bytes * dram_.pj_per_byte_write) *
+                 1e-12;
+    return out;
+}
+
+} // namespace tensordash

@@ -1,0 +1,132 @@
+#ifndef TENSORDASH_SIM_ENERGY_HH_
+#define TENSORDASH_SIM_ENERGY_HH_
+
+/**
+ * @file
+ * Energy model (paper section 4.3, Figs. 15/16).
+ *
+ * Core (compute logic) energy is power x time using the AreaModel's
+ * synthesis-derived powers -- the paper's methodology.  Memory energy is
+ * per-access: CACTI-style constants for the shared SRAMs and the
+ * scratchpads, Micron-model constants for LPDDR4 (via DramModel), and a
+ * per-group constant for the transposers.  Activity comes from the
+ * cycle-level simulation, scaled by sampling weights.
+ */
+
+#include "sim/area_model.hh"
+#include "sim/memory/dram.hh"
+
+namespace tensordash {
+
+/** Activity of one run (sampling weights already applied). */
+struct RunActivity
+{
+    double cycles = 0.0;
+
+    /** 16-value block accesses against the shared AM/BM/CM SRAMs. */
+    double sram_block_reads = 0.0;
+    double sram_block_writes = 0.0;
+
+    /** 16-value row accesses against the PE scratchpads. */
+    double spad_row_reads = 0.0;
+    double spad_row_writes = 0.0;
+
+    /** Off-chip traffic in bytes (CompressingDMA-compressed). */
+    double dram_read_bytes = 0.0;
+    double dram_write_bytes = 0.0;
+
+    /** 16x16 groups pushed through the transposers. */
+    double transposer_groups = 0.0;
+
+    void
+    merge(const RunActivity &o)
+    {
+        cycles += o.cycles;
+        sram_block_reads += o.sram_block_reads;
+        sram_block_writes += o.sram_block_writes;
+        spad_row_reads += o.spad_row_reads;
+        spad_row_writes += o.spad_row_writes;
+        dram_read_bytes += o.dram_read_bytes;
+        dram_write_bytes += o.dram_write_bytes;
+        transposer_groups += o.transposer_groups;
+    }
+};
+
+/** Energy split the paper reports in Fig. 16. */
+struct EnergyBreakdown
+{
+    double core_j = 0.0;  ///< compute logic (incl. scheduler/muxes)
+    double sram_j = 0.0;  ///< shared SRAM + scratchpads + transposers
+    double dram_j = 0.0;  ///< off-chip
+
+    double total() const { return core_j + sram_j + dram_j; }
+
+    void
+    merge(const EnergyBreakdown &o)
+    {
+        core_j += o.core_j;
+        sram_j += o.sram_j;
+        dram_j += o.dram_j;
+    }
+};
+
+/** Per-event energy constants (65nm, FP32 defaults). */
+struct EnergyConstants
+{
+    /** 256KB SRAM bank, 64B block access (CACTI-style). */
+    double sram_read_pj = 20.0;
+    double sram_write_pj = 24.0;
+    /** 1KB scratchpad row access. */
+    double spad_access_pj = 2.0;
+    /** One 16x16 group through a transposer. */
+    double transposer_group_pj = 120.0;
+    /**
+     * Static (leakage) power of the on-chip SRAM arrays at the default
+     * 16-tile geometry, in mW.  Time-dependent, so finishing earlier
+     * saves it -- one of TensorDash's second-order wins.
+     */
+    double sram_leakage_mw = 420.0;
+};
+
+/** Computes energy from activity for a given accelerator geometry. */
+class EnergyModel
+{
+  public:
+    /**
+     * @param geometry   architecture geometry (drives core power)
+     * @param freq_ghz   clock frequency (paper: 0.5 GHz)
+     * @param dram       off-chip energy constants
+     * @param constants  per-access energy constants
+     */
+    EnergyModel(const ArchGeometry &geometry, double freq_ghz = 0.5,
+                DramConfig dram = DramConfig{},
+                EnergyConstants constants = EnergyConstants{});
+
+    /**
+     * Energy for one run.
+     *
+     * @param activity   activity counters (weights applied)
+     * @param tensordash true: TensorDash power (schedulers + muxes on);
+     *                   false: baseline power
+     */
+    EnergyBreakdown compute(const RunActivity &activity,
+                            bool tensordash) const;
+
+    /** Core power in mW for the baseline or TensorDash configuration. */
+    double corePowerMw(bool tensordash) const;
+
+    double freqGhz() const { return freq_ghz_; }
+    const EnergyConstants &constants() const { return constants_; }
+    const DramConfig &dramConfig() const { return dram_; }
+
+  private:
+    AreaModel area_;
+    double freq_ghz_;
+    DramConfig dram_;
+    EnergyConstants constants_;
+    double value_scale_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_ENERGY_HH_

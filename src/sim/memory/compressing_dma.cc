@@ -1,0 +1,96 @@
+#include "sim/memory/compressing_dma.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "tensor/bfloat16.hh"
+
+namespace tensordash {
+
+std::vector<uint8_t>
+CompressingDma::compress(const std::vector<float> &data, int value_bytes)
+{
+    TD_ASSERT(value_bytes == 4 || value_bytes == 2,
+              "unsupported value width %d", value_bytes);
+    std::vector<uint8_t> out;
+    out.reserve(data.size() * value_bytes / 2);
+    for (size_t base = 0; base < data.size(); base += kBlock) {
+        size_t end = std::min(data.size(), base + kBlock);
+        uint16_t mask = 0;
+        for (size_t i = base; i < end; ++i)
+            if (data[i] != 0.0f)
+                mask |= (uint16_t)(1u << (i - base));
+        out.push_back((uint8_t)(mask & 0xff));
+        out.push_back((uint8_t)(mask >> 8));
+        for (size_t i = base; i < end; ++i) {
+            if (data[i] == 0.0f)
+                continue;
+            if (value_bytes == 4) {
+                uint32_t bits;
+                std::memcpy(&bits, &data[i], sizeof(bits));
+                for (int b = 0; b < 4; ++b)
+                    out.push_back((uint8_t)(bits >> (8 * b)));
+            } else {
+                uint16_t bits = bfloat16(data[i]).bits();
+                out.push_back((uint8_t)(bits & 0xff));
+                out.push_back((uint8_t)(bits >> 8));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+CompressingDma::decompress(const std::vector<uint8_t> &stream, size_t count,
+                           int value_bytes)
+{
+    TD_ASSERT(value_bytes == 4 || value_bytes == 2,
+              "unsupported value width %d", value_bytes);
+    std::vector<float> out(count, 0.0f);
+    size_t pos = 0;
+    for (size_t base = 0; base < count; base += kBlock) {
+        size_t end = std::min(count, base + kBlock);
+        TD_ASSERT(pos + 2 <= stream.size(), "truncated DMA stream");
+        uint16_t mask = (uint16_t)(stream[pos] | (stream[pos + 1] << 8));
+        pos += 2;
+        for (size_t i = base; i < end; ++i) {
+            if (!(mask >> (i - base) & 1))
+                continue;
+            if (value_bytes == 4) {
+                TD_ASSERT(pos + 4 <= stream.size(),
+                          "truncated DMA stream");
+                uint32_t bits = 0;
+                for (int b = 0; b < 4; ++b)
+                    bits |= (uint32_t)stream[pos + b] << (8 * b);
+                pos += 4;
+                std::memcpy(&out[i], &bits, sizeof(float));
+            } else {
+                TD_ASSERT(pos + 2 <= stream.size(),
+                          "truncated DMA stream");
+                uint16_t bits =
+                    (uint16_t)(stream[pos] | (stream[pos + 1] << 8));
+                pos += 2;
+                out[i] = bfloat16::fromBits(bits).toFloat();
+            }
+        }
+    }
+    TD_ASSERT(pos == stream.size(), "trailing bytes in DMA stream");
+    return out;
+}
+
+uint64_t
+CompressingDma::compressedBytes(uint64_t nonzeros, uint64_t total,
+                                int value_bytes)
+{
+    uint64_t blocks = (total + kBlock - 1) / kBlock;
+    return blocks * 2 + nonzeros * (uint64_t)value_bytes;
+}
+
+uint64_t
+CompressingDma::compressedBytes(const Tensor &tensor, int value_bytes)
+{
+    return compressedBytes(tensor.nonzeros(), tensor.size(), value_bytes);
+}
+
+} // namespace tensordash

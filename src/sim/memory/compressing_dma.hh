@@ -1,0 +1,75 @@
+#ifndef TENSORDASH_SIM_MEMORY_COMPRESSING_DMA_HH_
+#define TENSORDASH_SIM_MEMORY_COMPRESSING_DMA_HH_
+
+/**
+ * @file
+ * CompressingDMA: zero-value compression for off-chip transfers.
+ *
+ * Both the baseline and TensorDash compress tensors when moving them
+ * off-chip (paper section 4, following Rhu et al., "Compressing DMA
+ * engine").  The format used here works on 16-value blocks: a 16-bit
+ * nonzero mask followed by the packed nonzero values.  Fully-zero
+ * blocks cost only their mask.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace tensordash {
+
+/** Zero-compression codec for off-chip tensor transfers. */
+class CompressingDma
+{
+  public:
+    static constexpr int kBlock = 16;
+
+    /**
+     * Compress a value buffer.
+     *
+     * @param data        values to compress
+     * @param value_bytes bytes per stored value (4 = FP32, 2 = bfloat16)
+     * @return the encoded byte stream
+     */
+    static std::vector<uint8_t> compress(const std::vector<float> &data,
+                                         int value_bytes = 4);
+
+    /**
+     * Decompress a stream produced by compress().
+     *
+     * @param stream      encoded bytes
+     * @param count       number of values to recover
+     * @param value_bytes bytes per stored value used when encoding
+     * @return the decoded values (bfloat16 decodes lossily for
+     *         non-representable floats, exactly like hardware would)
+     */
+    static std::vector<float> decompress(const std::vector<uint8_t> &stream,
+                                         size_t count,
+                                         int value_bytes = 4);
+
+    /**
+     * Size of the compressed form without materialising it.
+     *
+     * @param nonzeros    number of nonzero values
+     * @param total       total number of values
+     * @param value_bytes bytes per stored value
+     */
+    static uint64_t compressedBytes(uint64_t nonzeros, uint64_t total,
+                                    int value_bytes = 4);
+
+    /** Compressed size of a tensor. */
+    static uint64_t compressedBytes(const Tensor &tensor,
+                                    int value_bytes = 4);
+
+    /** Dense (uncompressed) size. */
+    static uint64_t
+    denseBytes(uint64_t total, int value_bytes = 4)
+    {
+        return total * (uint64_t)value_bytes;
+    }
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_MEMORY_COMPRESSING_DMA_HH_

@@ -1,0 +1,8 @@
+#include "sim/memory/dram.hh"
+
+// DramModel is header-only; this translation unit anchors the module.
+namespace tensordash {
+namespace {
+[[maybe_unused]] DramModel anchor_instance{};
+} // namespace
+} // namespace tensordash

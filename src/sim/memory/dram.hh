@@ -1,0 +1,93 @@
+#ifndef TENSORDASH_SIM_MEMORY_DRAM_HH_
+#define TENSORDASH_SIM_MEMORY_DRAM_HH_
+
+/**
+ * @file
+ * Off-chip memory model: 4-channel LPDDR4-3200 (paper Table 2).
+ *
+ * We model aggregate bandwidth and per-byte access energy (Micron
+ * power-calculator style).  Latency is hidden by the deeply-buffered
+ * streaming dataflow; what matters to the evaluation is (a) whether a
+ * layer is bandwidth bound and (b) DRAM energy.
+ */
+
+#include <cstdint>
+
+namespace tensordash {
+
+/** Configuration of the off-chip memory system. */
+struct DramConfig
+{
+    int channels = 4;
+    /** MT/s per channel (LPDDR4-3200). */
+    double mega_transfers = 3200.0;
+    /** Channel width in bytes (x16 LPDDR4). */
+    double channel_bytes = 2.0;
+    /** Access energy per byte moved (pJ), read and write. */
+    double pj_per_byte_read = 32.0;
+    double pj_per_byte_write = 36.0;
+};
+
+/** Bandwidth/energy accounting for the off-chip memory. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config = DramConfig{})
+        : config_(config)
+    {
+    }
+
+    const DramConfig &config() const { return config_; }
+
+    void read(uint64_t bytes) { read_bytes_ += bytes; }
+    void write(uint64_t bytes) { write_bytes_ += bytes; }
+
+    uint64_t readBytes() const { return read_bytes_; }
+    uint64_t writeBytes() const { return write_bytes_; }
+
+    /** Peak bandwidth in bytes per second. */
+    double
+    bandwidthBytesPerSec() const
+    {
+        return config_.channels * config_.mega_transfers * 1e6 *
+               config_.channel_bytes;
+    }
+
+    /** Bytes deliverable per accelerator cycle at @p freq_ghz. */
+    double
+    bytesPerCycle(double freq_ghz) const
+    {
+        return bandwidthBytesPerSec() / (freq_ghz * 1e9);
+    }
+
+    /** Minimum cycles to move @p bytes at @p freq_ghz. */
+    double
+    transferCycles(double bytes, double freq_ghz) const
+    {
+        return bytes / bytesPerCycle(freq_ghz);
+    }
+
+    /** Energy in joules for the traffic recorded so far. */
+    double
+    energyJoules() const
+    {
+        return (read_bytes_ * config_.pj_per_byte_read +
+                write_bytes_ * config_.pj_per_byte_write) * 1e-12;
+    }
+
+    void
+    resetStats()
+    {
+        read_bytes_ = 0;
+        write_bytes_ = 0;
+    }
+
+  private:
+    DramConfig config_;
+    uint64_t read_bytes_ = 0;
+    uint64_t write_bytes_ = 0;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_MEMORY_DRAM_HH_

@@ -1,0 +1,18 @@
+#include "sim/memory/sram.hh"
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+SramArray::SramArray(std::string name, uint64_t bytes, int banks,
+                     int block_bytes)
+    : name_(std::move(name)), bytes_(bytes), banks_(banks),
+      block_bytes_(block_bytes)
+{
+    TD_ASSERT(banks >= 1, "SRAM needs at least one bank");
+    TD_ASSERT(block_bytes >= 1, "bad SRAM block size");
+    TD_ASSERT(bytes % (uint64_t)banks == 0,
+              "SRAM capacity must divide evenly across banks");
+}
+
+} // namespace tensordash

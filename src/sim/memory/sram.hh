@@ -1,0 +1,78 @@
+#ifndef TENSORDASH_SIM_MEMORY_SRAM_HH_
+#define TENSORDASH_SIM_MEMORY_SRAM_HH_
+
+/**
+ * @file
+ * Banked on-chip SRAM activity model.
+ *
+ * The accelerator splits its on-chip storage into the AM, BM and CM
+ * memories (paper Table 2: 256KB x 4 banks per tile each) plus small
+ * per-PE scratchpads (1KB x 3 banks).  For energy accounting we track
+ * block-granularity accesses (one block = one lane row, 16 values);
+ * CACTI-style per-access energies are applied by the EnergyModel.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace tensordash {
+
+/** Activity counters for one SRAM array. */
+class SramArray
+{
+  public:
+    /**
+     * @param name        array name for reports ("AM", "BM", "CM", "SP")
+     * @param bytes       capacity in bytes (all banks)
+     * @param banks       number of independent banks
+     * @param block_bytes access granularity in bytes
+     */
+    SramArray(std::string name, uint64_t bytes, int banks,
+              int block_bytes);
+
+    const std::string &name() const { return name_; }
+    uint64_t capacityBytes() const { return bytes_; }
+    int banks() const { return banks_; }
+    int blockBytes() const { return block_bytes_; }
+
+    /** Record @p blocks block reads. */
+    void read(uint64_t blocks) { reads_ += blocks; }
+
+    /** Record @p blocks block writes. */
+    void write(uint64_t blocks) { writes_ += blocks; }
+
+    uint64_t reads() const { return reads_; }
+    uint64_t writes() const { return writes_; }
+
+    /** Bytes moved in + out. */
+    uint64_t
+    bytesAccessed() const
+    {
+        return (reads_ + writes_) * (uint64_t)block_bytes_;
+    }
+
+    /**
+     * Peak blocks deliverable per cycle (one per bank); callers use this
+     * to check that a dataflow's demand is sustainable.
+     */
+    int blocksPerCycle() const { return banks_; }
+
+    void
+    resetStats()
+    {
+        reads_ = 0;
+        writes_ = 0;
+    }
+
+  private:
+    std::string name_;
+    uint64_t bytes_;
+    int banks_;
+    int block_bytes_;
+    uint64_t reads_ = 0;
+    uint64_t writes_ = 0;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_MEMORY_SRAM_HH_

@@ -1,0 +1,87 @@
+#include "sim/memory/transposer.hh"
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+Transposer::Transposer(int buffer_bytes) : buffer_bytes_(buffer_bytes)
+{
+    // The internal buffer must hold one full group.
+    TD_ASSERT(buffer_bytes_ >=
+              (int)(kGroupDim * kGroupDim * sizeof(float)),
+              "transposer buffer too small for a 16x16 group");
+}
+
+ValueGroup
+Transposer::transpose(const ValueGroup &in)
+{
+    ValueGroup out;
+    for (int r = 0; r < kGroupDim; ++r)
+        for (int c = 0; c < kGroupDim; ++c)
+            out.at(c, r) = in.at(r, c);
+    ++groups_;
+    block_reads_ += kGroupDim;
+    blocks_served_ += kGroupDim;
+    cycles_ += 2 * kGroupDim; // load phase + serve phase
+    return out;
+}
+
+void
+Transposer::resetStats()
+{
+    groups_ = 0;
+    block_reads_ = 0;
+    blocks_served_ = 0;
+    cycles_ = 0;
+}
+
+std::vector<float>
+transposeMatrix(const std::vector<float> &data, int rows, int cols,
+                Transposer &unit)
+{
+    TD_ASSERT((int)data.size() == rows * cols,
+              "matrix size mismatch: %zu != %d x %d", data.size(), rows,
+              cols);
+    std::vector<float> out((size_t)rows * cols, 0.0f);
+    int group_rows = (rows + kGroupDim - 1) / kGroupDim;
+    int group_cols = (cols + kGroupDim - 1) / kGroupDim;
+    for (int gr = 0; gr < group_rows; ++gr) {
+        for (int gc = 0; gc < group_cols; ++gc) {
+            ValueGroup in;
+            for (int r = 0; r < kGroupDim; ++r) {
+                int src_r = gr * kGroupDim + r;
+                if (src_r >= rows)
+                    break;
+                for (int c = 0; c < kGroupDim; ++c) {
+                    int src_c = gc * kGroupDim + c;
+                    if (src_c >= cols)
+                        break;
+                    in.at(r, c) = data[(size_t)src_r * cols + src_c];
+                }
+            }
+            ValueGroup t = unit.transpose(in);
+            for (int r = 0; r < kGroupDim; ++r) {
+                int dst_r = gc * kGroupDim + r;
+                if (dst_r >= cols)
+                    break;
+                for (int c = 0; c < kGroupDim; ++c) {
+                    int dst_c = gr * kGroupDim + c;
+                    if (dst_c >= rows)
+                        break;
+                    out[(size_t)dst_r * rows + dst_c] = t.at(r, c);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+uint64_t
+groupCount(int rows, int cols)
+{
+    uint64_t gr = (rows + kGroupDim - 1) / kGroupDim;
+    uint64_t gc = (cols + kGroupDim - 1) / kGroupDim;
+    return gr * gc;
+}
+
+} // namespace tensordash

@@ -1,0 +1,94 @@
+#ifndef TENSORDASH_SIM_MEMORY_TRANSPOSER_HH_
+#define TENSORDASH_SIM_MEMORY_TRANSPOSER_HH_
+
+/**
+ * @file
+ * Tensor layout groups and the on-chip transposer (paper section 3.4).
+ *
+ * Tensors are stored in memory as 16x16 value groups: 16 consecutive
+ * blocks along the row dimension, each block holding 16 consecutive
+ * channel values.  During training each tensor is consumed in two
+ * different orders; the transposer sits between the shared SRAM banks
+ * and the tile scratchpads, reads one group with 16 16-value accesses
+ * into its internal buffer and serves it back transposed (all values at
+ * position k of their block, for k = 0..15).
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace tensordash {
+
+/** Group geometry used throughout the memory system. */
+constexpr int kGroupDim = 16;
+
+/** One 16x16 value group in row-major order. */
+struct ValueGroup
+{
+    std::array<float, kGroupDim * kGroupDim> values{};
+
+    float &at(int row, int col) { return values[row * kGroupDim + col]; }
+    float at(int row, int col) const
+    { return values[row * kGroupDim + col]; }
+};
+
+/** Cycle/energy-counted model of one transposer unit. */
+class Transposer
+{
+  public:
+    /** Buffer capacity in bytes (paper Table 2: 1KB). */
+    explicit Transposer(int buffer_bytes = 1024);
+
+    /**
+     * Transpose one group: load 16 blocks, serve 16 transposed blocks.
+     *
+     * @param in group in storage order
+     * @return the transposed group
+     */
+    ValueGroup transpose(const ValueGroup &in);
+
+    /** Groups processed so far. */
+    uint64_t groups() const { return groups_; }
+
+    /** Block reads performed against the source banks. */
+    uint64_t blockReads() const { return block_reads_; }
+
+    /** Blocks served to the scratchpads. */
+    uint64_t blocksServed() const { return blocks_served_; }
+
+    /** Cycles spent (one block load per cycle, then one serve/cycle). */
+    uint64_t cycles() const { return cycles_; }
+
+    void resetStats();
+
+  private:
+    int buffer_bytes_;
+    uint64_t groups_ = 0;
+    uint64_t block_reads_ = 0;
+    uint64_t blocks_served_ = 0;
+    uint64_t cycles_ = 0;
+};
+
+/**
+ * Tile a (rows x cols) matrix into 16x16 groups (zero padded), apply
+ * the transposer to each group, and reassemble the (cols x rows)
+ * transposed matrix.  This is exactly how a weight or gradient tensor
+ * is re-ordered between the forward and backward passes; tests verify
+ * it against a direct transpose.
+ *
+ * @param data   row-major input matrix
+ * @param rows   input row count
+ * @param cols   input column count
+ * @param unit   transposer to run (accumulates activity)
+ * @return row-major (cols x rows) transposed matrix
+ */
+std::vector<float> transposeMatrix(const std::vector<float> &data,
+                                   int rows, int cols, Transposer &unit);
+
+/** Number of 16x16 groups needed to store a rows x cols matrix. */
+uint64_t groupCount(int rows, int cols);
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_MEMORY_TRANSPOSER_HH_

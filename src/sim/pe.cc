@@ -1,0 +1,97 @@
+#include "sim/pe.hh"
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+TensorDashPe::TensorDashPe(const PeConfig &config)
+    : config_(config),
+      pattern_(config.lanes, config.depth, config.interconnect),
+      scheduler_(pattern_),
+      window_(config.depth)
+{
+}
+
+uint64_t
+TensorDashPe::run(const BlockStream &a, const BlockStream &b,
+                  PeStats &stats, double *acc)
+{
+    TD_ASSERT(a.rows() == b.rows(),
+              "stream length mismatch: A %d rows vs B %d rows",
+              a.rows(), b.rows());
+    TD_ASSERT(a.lanes() == config_.lanes && b.lanes() == config_.lanes,
+              "stream lane width does not match PE configuration");
+    if (acc) {
+        TD_ASSERT(a.hasValues() && b.hasValues(),
+                  "functional run requires value-mode streams");
+    }
+
+    int rows = b.rows();
+    stats.dense_cycles += rows;
+    stats.pair_slots += (uint64_t)rows * config_.lanes;
+    stats.staging_refills += 2ull * rows;
+
+    pair_masks_.resize(rows);
+    uint64_t effectual = 0;
+    for (int r = 0; r < rows; ++r) {
+        uint32_t z = b.nzMask(r);
+        if (config_.side == SparsitySide::Both)
+            z &= a.nzMask(r);
+        pair_masks_[r] = z;
+        effectual += __builtin_popcount(z);
+    }
+    stats.effectual_pairs += effectual;
+    if (rows == 0)
+        return 0;
+
+    window_.reset(pair_masks_);
+    Schedule sched;
+    uint64_t cycles = 0;
+    while (!window_.done()) {
+        int base = window_.base();
+        int picks = scheduler_.step(window_, &sched);
+        ++cycles;
+        stats.macs += picks;
+        stats.idle_lane_cycles += config_.lanes - picks;
+        if (acc) {
+            for (int lane = 0; lane < config_.lanes; ++lane) {
+                int idx = sched.select[lane];
+                if (idx < 0)
+                    continue;
+                const MoveOption &opt = pattern_.options(lane)[idx];
+                int row = base + opt.step;
+                *acc += (double)a.value(row, opt.lane) *
+                        (double)b.value(row, opt.lane);
+            }
+        }
+    }
+    stats.cycles += cycles;
+    TD_ASSERT(cycles <= (uint64_t)rows,
+              "TensorDash must never exceed the dense cycle count");
+    return cycles;
+}
+
+uint64_t
+BaselinePe::run(const BlockStream &a, const BlockStream &b,
+                PeStats &stats, double *acc) const
+{
+    TD_ASSERT(a.rows() == b.rows(), "stream length mismatch");
+    int rows = b.rows();
+    stats.cycles += rows;
+    stats.dense_cycles += rows;
+    stats.pair_slots += (uint64_t)rows * lanes_;
+    stats.staging_refills += 2ull * rows;
+    uint64_t effectual = 0;
+    for (int r = 0; r < rows; ++r)
+        effectual += __builtin_popcount(a.nzMask(r) & b.nzMask(r));
+    stats.effectual_pairs += effectual;
+    stats.macs += (uint64_t)rows * lanes_;
+    if (acc) {
+        for (int r = 0; r < rows; ++r)
+            for (int l = 0; l < lanes_; ++l)
+                *acc += (double)a.value(r, l) * (double)b.value(r, l);
+    }
+    return rows;
+}
+
+} // namespace tensordash

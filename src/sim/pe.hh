@@ -1,0 +1,135 @@
+#ifndef TENSORDASH_SIM_PE_HH_
+#define TENSORDASH_SIM_PE_HH_
+
+/**
+ * @file
+ * Cycle-level model of a single TensorDash processing element
+ * (paper Fig. 8) and the dense baseline PE (Fig. 6).
+ *
+ * The PE performs `lanes` MAC operations per cycle, all accumulating into
+ * one output.  The TensorDash PE adds staging buffers on both input
+ * streams, a sparse per-lane interconnect and the hardware scheduler; it
+ * can be configured to extract sparsity from both operands (Z = AZ and
+ * BZ) or from one side only (Z = BZ), the mode used when PEs are composed
+ * into tiles.
+ *
+ * The window never spans dot products: values may only be promoted into
+ * MAC slots that accumulate into the same output, so streams are
+ * scheduled one dot product at a time.
+ */
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "sim/mux_pattern.hh"
+#include "sim/scheduler.hh"
+#include "sim/stream.hh"
+
+namespace tensordash {
+
+/** Which operands the scheduler extracts sparsity from. */
+enum class SparsitySide
+{
+    /** Z = BZ: skip pairs whose B value is zero (tile configuration). */
+    BSide,
+    /** Z = AZ and BZ: skip pairs with any zero operand (full PE). */
+    Both,
+};
+
+/** Static configuration of one PE. */
+struct PeConfig
+{
+    int lanes = 16;
+    int depth = 3;
+    SparsitySide side = SparsitySide::Both;
+    InterconnectKind interconnect = InterconnectKind::Paper;
+};
+
+/** Activity counters produced by PE runs. */
+struct PeStats
+{
+    /** Cycles the TensorDash PE needed. */
+    uint64_t cycles = 0;
+    /** Cycles the dense baseline needs for the same streams. */
+    uint64_t dense_cycles = 0;
+    /** MAC operations actually performed (pairs consumed). */
+    uint64_t macs = 0;
+    /** Effectual pairs in the streams (both operands nonzero). */
+    uint64_t effectual_pairs = 0;
+    /** Total pair slots (rows x lanes). */
+    uint64_t pair_slots = 0;
+    /** Lane-cycles in which a multiplier had no pair to process. */
+    uint64_t idle_lane_cycles = 0;
+    /** Staging rows fetched from the scratchpads (per side). */
+    uint64_t staging_refills = 0;
+
+    void
+    merge(const PeStats &o)
+    {
+        cycles += o.cycles;
+        dense_cycles += o.dense_cycles;
+        macs += o.macs;
+        effectual_pairs += o.effectual_pairs;
+        pair_slots += o.pair_slots;
+        idle_lane_cycles += o.idle_lane_cycles;
+        staging_refills += o.staging_refills;
+    }
+
+    double
+    speedup() const
+    {
+        return cycles ? (double)dense_cycles / (double)cycles : 1.0;
+    }
+};
+
+/** Cycle-level TensorDash processing element. */
+class TensorDashPe
+{
+  public:
+    explicit TensorDashPe(const PeConfig &config);
+
+    const PeConfig &config() const { return config_; }
+    const MuxPattern &pattern() const { return pattern_; }
+
+    /**
+     * Process one dot product.
+     *
+     * @param a     A-side operand stream
+     * @param b     B-side operand stream (the scheduled side in BSide
+     *              mode); must have the same row count as @p a
+     * @param stats accumulated activity counters
+     * @param acc   optional accumulator for the functional result
+     *              (requires value-mode streams)
+     * @return TensorDash cycles consumed
+     */
+    uint64_t run(const BlockStream &a, const BlockStream &b,
+                 PeStats &stats, double *acc = nullptr);
+
+  private:
+    PeConfig config_;
+    MuxPattern pattern_;
+    HierarchicalScheduler scheduler_;
+    StagingWindow window_;
+    std::vector<uint32_t> pair_masks_;
+};
+
+/**
+ * Dense baseline PE: processes every row in one cycle regardless of
+ * content.  Provided for symmetric use in tests and benches.
+ */
+class BaselinePe
+{
+  public:
+    explicit BaselinePe(int lanes) : lanes_(lanes) {}
+
+    /** Process one dot product; returns cycles (== rows). */
+    uint64_t run(const BlockStream &a, const BlockStream &b,
+                 PeStats &stats, double *acc = nullptr) const;
+
+  private:
+    int lanes_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_PE_HH_

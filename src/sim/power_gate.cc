@@ -1,0 +1,8 @@
+#include "sim/power_gate.hh"
+
+// PowerGateController is header-only; this anchors the module.
+namespace tensordash {
+namespace {
+[[maybe_unused]] PowerGateController anchor_instance{};
+} // namespace
+} // namespace tensordash

@@ -1,0 +1,80 @@
+#ifndef TENSORDASH_SIM_POWER_GATE_HH_
+#define TENSORDASH_SIM_POWER_GATE_HH_
+
+/**
+ * @file
+ * Power gating for models with no sparsity (paper section 3.5).
+ *
+ * A counter at the output of each layer measures the fraction of zeros
+ * generated; before the next use of that tensor the controller decides
+ * whether enabling the TensorDash front end is worthwhile.  When gated,
+ * the staging buffers are bypassed and the scheduler/mux blocks are
+ * power-gated, so the PE behaves (and burns power) exactly like the
+ * baseline.
+ */
+
+#include <map>
+#include <string>
+
+namespace tensordash {
+
+/** Per-tensor gating decisions driven by observed zero counts. */
+class PowerGateController
+{
+  public:
+    /**
+     * @param min_sparsity minimum zero fraction for the sparse front
+     *        end to pay for itself (default: the ~2% power overhead
+     *        plus margin)
+     */
+    explicit PowerGateController(double min_sparsity = 0.05)
+        : min_sparsity_(min_sparsity)
+    {
+    }
+
+    double minSparsity() const { return min_sparsity_; }
+
+    /**
+     * Record the zero fraction measured at a layer output.
+     *
+     * @param key      tensor identity, e.g. "layer3.acts"
+     * @param sparsity fraction of zeros in [0, 1]
+     */
+    void
+    observe(const std::string &key, double sparsity)
+    {
+        observed_[key] = sparsity;
+    }
+
+    /**
+     * @return true when the TensorDash components should be enabled for
+     * a tensor.  Unobserved tensors default to enabled (the first batch
+     * runs with the front end on and trains the counters).
+     */
+    bool
+    enabled(const std::string &key) const
+    {
+        auto it = observed_.find(key);
+        if (it == observed_.end())
+            return true;
+        return it->second >= min_sparsity_;
+    }
+
+    /** Last observed sparsity, or -1 when unknown. */
+    double
+    lastObserved(const std::string &key) const
+    {
+        auto it = observed_.find(key);
+        return it == observed_.end() ? -1.0 : it->second;
+    }
+
+    void clear() { observed_.clear(); }
+
+  private:
+    double min_sparsity_;
+    std::map<std::string, double> observed_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_POWER_GATE_HH_

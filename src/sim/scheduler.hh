@@ -1,0 +1,83 @@
+#ifndef TENSORDASH_SIM_SCHEDULER_HH_
+#define TENSORDASH_SIM_SCHEDULER_HH_
+
+/**
+ * @file
+ * The TensorDash hardware scheduler (paper section 3.2, Fig. 10).
+ *
+ * Input: the window of pending effectual-pair masks (`Z` in the paper,
+ * AZ AND BZ for two-side extraction, BZ alone for one-side tiles).
+ * Output: one movement selection per lane (the MS signals) such that every
+ * pending pair is consumed at most once.
+ *
+ * The hardware resolves conflicts hierarchically: lanes are grouped into
+ * levels whose option sets are disjoint by construction; each level's
+ * priority encoders decide independently, then AND-gates strip the chosen
+ * bits from Z before it reaches the next level.  The whole block is
+ * combinational and completes in one cycle.  This model reproduces that
+ * behaviour exactly (levels come from MuxPattern::levels()).
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "sim/mux_pattern.hh"
+#include "sim/staging_buffer.hh"
+
+namespace tensordash {
+
+/** Selection produced for one cycle. */
+struct Schedule
+{
+    /** Option index per lane (into MuxPattern::options), -1 = lane idle. */
+    std::array<int8_t, 32> select;
+
+    /** Number of pairs consumed this cycle. */
+    int picks = 0;
+};
+
+/** Cycle-level model of the hierarchical scheduler block. */
+class HierarchicalScheduler
+{
+  public:
+    /** @param pattern interconnect whose options/levels drive selection. */
+    explicit HierarchicalScheduler(const MuxPattern &pattern);
+
+    const MuxPattern &pattern() const { return *pattern_; }
+
+    /**
+     * Compute one cycle's schedule.
+     *
+     * @param pending effectual-pair masks, one per window step
+     * @param valid   number of valid window steps
+     * @return the per-lane selections and pick count
+     */
+    Schedule schedule(const uint32_t *pending, int valid) const;
+
+    /**
+     * Run one full PE cycle against a staging window: schedule, consume
+     * the picked pairs, then retire fully-consumed rows.
+     *
+     * @param window staging window to mutate
+     * @param out    optional schedule output for callers that need the
+     *               selections (e.g. the functional path)
+     * @return number of pairs consumed
+     */
+    int step(StagingWindow &window, Schedule *out = nullptr) const;
+
+  private:
+    const MuxPattern *pattern_;
+};
+
+/**
+ * Brute-force oracle: the maximum number of pending pairs any valid
+ * one-cycle schedule could consume, via maximum bipartite matching of
+ * lanes to reachable pending positions.  Used by tests as an upper bound
+ * on (and near-target for) the hierarchical scheduler.
+ */
+int oracleMaxPicks(const MuxPattern &pattern, const uint32_t *pending,
+                   int valid);
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_SCHEDULER_HH_

@@ -1,0 +1,118 @@
+#include "sim/tile.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+Tile::Tile(const TileConfig &config)
+    : config_(config),
+      pattern_(config.lanes, config.depth, config.interconnect),
+      scheduler_(pattern_)
+{
+    TD_ASSERT(config.rows >= 1 && config.cols >= 1,
+              "tile needs at least one row and one column");
+    pending_.assign(config.rows,
+                    std::vector<uint32_t>(config.depth, 0));
+}
+
+uint64_t
+Tile::run(const TileJob &job, TileStats &stats,
+          std::vector<std::vector<double>> *outputs)
+{
+    int nrows = (int)job.b.size();
+    int ncols = (int)job.a.size();
+    TD_ASSERT(nrows >= 1 && nrows <= config_.rows,
+              "job uses %d rows, tile has %d", nrows, config_.rows);
+    TD_ASSERT(ncols >= 1 && ncols <= config_.cols,
+              "job uses %d cols, tile has %d", ncols, config_.cols);
+    int steps = job.steps();
+    for (const auto &s : job.b)
+        TD_ASSERT(s.rows() == steps, "B stream length mismatch");
+    for (const auto &s : job.a)
+        TD_ASSERT(s.rows() == steps, "A stream length mismatch");
+
+    stats.dense_cycles += steps;
+    stats.b_rows_fetched += (uint64_t)nrows * steps;
+    stats.a_rows_fetched += (uint64_t)ncols * steps;
+    if (steps == 0)
+        return 0;
+
+    if (outputs) {
+        outputs->assign(nrows, std::vector<double>(ncols, 0.0));
+        for (const auto &s : job.b)
+            TD_ASSERT(s.hasValues(), "functional run needs values");
+        for (const auto &s : job.a)
+            TD_ASSERT(s.hasValues(), "functional run needs values");
+    }
+
+    const int depth = config_.depth;
+    int base = 0;
+    auto validAt = [&](int b_pos) {
+        return std::min(depth, steps - b_pos);
+    };
+    int valid = validAt(0);
+    for (int r = 0; r < nrows; ++r)
+        for (int s = 0; s < depth; ++s)
+            pending_[r][s] = s < valid ? job.b[r].nzMask(s) : 0;
+
+    uint64_t cycles = 0;
+    Schedule sched;
+    while (base < steps) {
+        ++cycles;
+        valid = validAt(base);
+        int total_picks = 0;
+        int advance = valid;
+        for (int r = 0; r < nrows; ++r) {
+            sched = scheduler_.schedule(pending_[r].data(), valid);
+            total_picks += sched.picks;
+            stats.mult_ops += (uint64_t)sched.picks * ncols;
+            stats.idle_mult_slots +=
+                (uint64_t)(config_.lanes - sched.picks) * ncols;
+            for (int lane = 0; lane < config_.lanes; ++lane) {
+                int idx = sched.select[lane];
+                if (idx < 0)
+                    continue;
+                const MoveOption &opt = pattern_.options(lane)[idx];
+                pending_[r][opt.step] &= ~(1u << opt.lane);
+                if (outputs) {
+                    int row_abs = base + opt.step;
+                    float bv = job.b[r].value(row_abs, opt.lane);
+                    for (int c = 0; c < ncols; ++c) {
+                        (*outputs)[r][c] +=
+                            (double)job.a[c].value(row_abs, opt.lane) *
+                            (double)bv;
+                    }
+                }
+            }
+            // AS for this row: leading fully consumed window rows.
+            int as = 0;
+            while (as < valid && pending_[r][as] == 0)
+                ++as;
+            advance = std::min(advance, as);
+        }
+        TD_ASSERT(advance > 0 || total_picks > 0,
+                  "tile made no progress at step base %d", base);
+        if (advance < valid && advance < depth)
+            ++stats.stall_cycles;
+        if (advance > 0) {
+            base += advance;
+            int new_valid = validAt(base);
+            for (int r = 0; r < nrows; ++r) {
+                auto &p = pending_[r];
+                for (int s = advance; s < depth; ++s)
+                    p[s - advance] = p[s];
+                for (int s = depth - advance; s < depth; ++s)
+                    p[s] = s < new_valid ? job.b[r].nzMask(base + s) : 0;
+            }
+        }
+    }
+
+    stats.cycles += cycles;
+    TD_ASSERT(cycles <= (uint64_t)steps,
+              "tile exceeded the dense cycle count");
+    return cycles;
+}
+
+} // namespace tensordash

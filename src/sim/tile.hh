@@ -1,0 +1,126 @@
+#ifndef TENSORDASH_SIM_TILE_HH_
+#define TENSORDASH_SIM_TILE_HH_
+
+/**
+ * @file
+ * A TensorDash tile (paper section 3.3, Fig. 11): an R x C grid of PEs.
+ *
+ * PEs along a row share the same B operand stream and one hardware
+ * scheduler; PEs along a column share the same A operand stream.
+ * PE(r, c) therefore computes dot(B_r, A_c).  Sparsity is extracted from
+ * the B side only: each row's scheduler sees just its B staging buffer's
+ * zero vector, and the A-side values move in tandem through per-PE
+ * multiplexer blocks driven by the row's MS signals.
+ *
+ * Because the A-side staging buffers are shared down each column, every
+ * row must observe the same window of dense steps: the tile's window
+ * advances by the *minimum* AS across rows each cycle.  Rows with denser
+ * B streams therefore stall rows with sparser ones — the work-imbalance
+ * effect the paper studies in Fig. 17.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/mux_pattern.hh"
+#include "sim/scheduler.hh"
+#include "sim/stream.hh"
+
+namespace tensordash {
+
+/** Static configuration of a tile. */
+struct TileConfig
+{
+    int rows = 4;
+    int cols = 4;
+    int lanes = 16;
+    int depth = 3;
+    InterconnectKind interconnect = InterconnectKind::Paper;
+};
+
+/**
+ * One unit of tile work: up to `rows` B streams and `cols` A streams of
+ * equal length; PE(r, c) accumulates dot(B_r, A_c) over the whole job.
+ */
+struct TileJob
+{
+    std::vector<BlockStream> b;
+    std::vector<BlockStream> a;
+
+    /** Number of real jobs this (possibly sampled) job represents. */
+    double weight = 1.0;
+
+    int steps() const { return b.empty() ? 0 : b.front().rows(); }
+};
+
+/** Activity counters for tile runs. */
+struct TileStats
+{
+    uint64_t cycles = 0;
+    uint64_t dense_cycles = 0;
+    /** Multiplications performed (schedule picks x active columns). */
+    uint64_t mult_ops = 0;
+    /** Multiplier slots left idle while the tile was running. */
+    uint64_t idle_mult_slots = 0;
+    /** Cycles in which at least one row stalled the window advance. */
+    uint64_t stall_cycles = 0;
+    /** Staging rows fetched (B side and A side). */
+    uint64_t b_rows_fetched = 0;
+    uint64_t a_rows_fetched = 0;
+
+    void
+    merge(const TileStats &o)
+    {
+        cycles += o.cycles;
+        dense_cycles += o.dense_cycles;
+        mult_ops += o.mult_ops;
+        idle_mult_slots += o.idle_mult_slots;
+        stall_cycles += o.stall_cycles;
+        b_rows_fetched += o.b_rows_fetched;
+        a_rows_fetched += o.a_rows_fetched;
+    }
+
+    double
+    speedup() const
+    {
+        return cycles ? (double)dense_cycles / (double)cycles : 1.0;
+    }
+};
+
+/** Cycle-level model of one tile. */
+class Tile
+{
+  public:
+    explicit Tile(const TileConfig &config);
+
+    const TileConfig &config() const { return config_; }
+    const MuxPattern &pattern() const { return pattern_; }
+
+    /**
+     * Simulate one job.
+     *
+     * @param job     operand streams (validated against the config)
+     * @param stats   accumulated activity counters (unweighted)
+     * @param outputs optional functional accumulators, indexed
+     *                [row][col]; requires value-mode streams
+     * @return TensorDash cycles for the job
+     */
+    uint64_t run(const TileJob &job, TileStats &stats,
+                 std::vector<std::vector<double>> *outputs = nullptr);
+
+    /** Dense baseline cycles for the same job (== steps). */
+    static uint64_t baselineCycles(const TileJob &job)
+    { return job.steps(); }
+
+  private:
+    TileConfig config_;
+    MuxPattern pattern_;
+    HierarchicalScheduler scheduler_;
+
+    // Per-row scratch state reused across run() calls.
+    std::vector<std::vector<uint32_t>> pending_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_TILE_HH_

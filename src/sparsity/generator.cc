@@ -1,0 +1,191 @@
+#include "sparsity/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+void
+applyBernoulliSparsity(Tensor &tensor, double sparsity, Rng &rng)
+{
+    TD_ASSERT(sparsity >= 0.0 && sparsity <= 1.0,
+              "sparsity %f out of range", sparsity);
+    tensor.dropout(rng, (float)sparsity);
+}
+
+void
+applyClusteredSparsity(Tensor &tensor, const ClusterParams &params,
+                       Rng &rng)
+{
+    TD_ASSERT(params.sparsity >= 0.0 && params.sparsity <= 1.0,
+              "sparsity %f out of range", params.sparsity);
+    TD_ASSERT(params.strength >= 0.0 && params.strength <= 1.0,
+              "strength %f out of range", params.strength);
+    double density = 1.0 - params.sparsity;
+    if (density <= 0.0) {
+        tensor.fill(0.0f);
+        return;
+    }
+    if (density >= 1.0)
+        return;
+
+    // Concentration: 80 (nearly i.i.d.) down to 0.8 (strongly bimodal).
+    double k = 80.0 * std::pow(0.01, params.strength);
+    k = std::max(k, 0.8);
+    const Shape &s = tensor.shape();
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            float map_density =
+                rng.beta((float)(density * k),
+                         (float)((1.0 - density) * k));
+            for (int h = 0; h < s.h; ++h)
+                for (int w = 0; w < s.w; ++w)
+                    if (!rng.bernoulli(map_density))
+                        tensor.at(n, c, h, w) = 0.0f;
+        }
+    }
+}
+
+void
+applyMagnitudePruning(Tensor &weights, double sparsity)
+{
+    TD_ASSERT(sparsity >= 0.0 && sparsity <= 1.0,
+              "sparsity %f out of range", sparsity);
+    size_t n = weights.size();
+    auto prune_count = (size_t)((double)n * sparsity);
+    if (prune_count == 0)
+        return;
+    std::vector<float> mags(n);
+    for (size_t i = 0; i < n; ++i)
+        mags[i] = std::fabs(weights[i]);
+    std::vector<float> sorted = mags;
+    std::nth_element(sorted.begin(), sorted.begin() + (prune_count - 1),
+                     sorted.end());
+    float threshold = sorted[prune_count - 1];
+    size_t pruned = 0;
+    // Prune strictly-below first, then values at the threshold until the
+    // target count is reached (handles ties deterministically).
+    for (size_t i = 0; i < n && pruned < prune_count; ++i) {
+        if (mags[i] < threshold) {
+            weights[i] = 0.0f;
+            ++pruned;
+        }
+    }
+    for (size_t i = 0; i < n && pruned < prune_count; ++i) {
+        if (weights[i] != 0.0f && mags[i] == threshold) {
+            weights[i] = 0.0f;
+            ++pruned;
+        }
+    }
+}
+
+void
+applyClusteredPruning(Tensor &weights, double sparsity, double strength,
+                      Rng &rng)
+{
+    TD_ASSERT(sparsity >= 0.0 && sparsity <= 1.0,
+              "sparsity %f out of range", sparsity);
+    const Shape &s = weights.shape();
+    double keep_mean = 1.0 - sparsity;
+    double k = 60.0 * std::pow(0.02, strength);
+    k = std::max(k, 0.8);
+
+    // Two-level structure: important filters keep more weights, and
+    // within the tensor some input channels stay better connected than
+    // others.  Both axes matter: filters drive row imbalance in the
+    // forward mapping, channels in the backward-data mapping.
+    std::vector<double> chan_mult(s.c);
+    double chan_mean = 0.0;
+    for (int c = 0; c < s.c; ++c) {
+        chan_mult[c] = 0.25 + rng.beta((float)(keep_mean * k),
+                                       (float)((1.0 - keep_mean) * k)) /
+                                  std::max(keep_mean, 1e-6);
+        chan_mean += chan_mult[c];
+    }
+    chan_mean /= (double)s.c;
+    for (double &m : chan_mult)
+        m /= chan_mean;
+
+    size_t per_slice = (size_t)s.h * s.w;
+    std::vector<float> mags(per_slice);
+    auto pruneSlice = [&](float *base, size_t prune_count) {
+        if (prune_count == 0)
+            return;
+        for (size_t i = 0; i < per_slice; ++i)
+            mags[i] = std::fabs(base[i]);
+        std::vector<float> sorted = mags;
+        std::nth_element(sorted.begin(),
+                         sorted.begin() + (prune_count - 1),
+                         sorted.end());
+        float threshold = sorted[prune_count - 1];
+        size_t pruned = 0;
+        for (size_t i = 0; i < per_slice && pruned < prune_count; ++i) {
+            if (mags[i] < threshold) {
+                base[i] = 0.0f;
+                ++pruned;
+            }
+        }
+        for (size_t i = 0; i < per_slice && pruned < prune_count; ++i) {
+            if (base[i] != 0.0f && mags[i] == threshold) {
+                base[i] = 0.0f;
+                ++pruned;
+            }
+        }
+    };
+
+    for (int f = 0; f < s.n; ++f) {
+        double keep_f = rng.beta((float)(keep_mean * k),
+                                 (float)((1.0 - keep_mean) * k));
+        // Never prune a filter completely; dead filters would be
+        // removed by the training method itself.
+        keep_f = std::clamp(keep_f, 0.02, 1.0);
+        for (int c = 0; c < s.c; ++c) {
+            double keep = std::clamp(keep_f * chan_mult[c], 0.0, 1.0);
+            auto prune_count =
+                (size_t)((double)per_slice * (1.0 - keep) + 0.5);
+            prune_count = std::min(prune_count, per_slice);
+            float *base = weights.data() +
+                          ((size_t)f * s.c + c) * per_slice;
+            pruneSlice(base, prune_count);
+        }
+    }
+}
+
+std::vector<double>
+perMapDensities(const Tensor &tensor)
+{
+    const Shape &s = tensor.shape();
+    std::vector<double> densities;
+    densities.reserve((size_t)s.n * s.c);
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            int nz = 0;
+            for (int h = 0; h < s.h; ++h)
+                for (int w = 0; w < s.w; ++w)
+                    nz += tensor.at(n, c, h, w) != 0.0f;
+            densities.push_back((double)nz / ((double)s.h * s.w));
+        }
+    }
+    return densities;
+}
+
+double
+mapDensityCv(const Tensor &tensor)
+{
+    std::vector<double> d = perMapDensities(tensor);
+    double mean = 0.0;
+    for (double v : d)
+        mean += v;
+    mean /= (double)d.size();
+    if (mean <= 0.0)
+        return 0.0;
+    double var = 0.0;
+    for (double v : d)
+        var += (v - mean) * (v - mean);
+    var /= (double)d.size();
+    return std::sqrt(var) / mean;
+}
+
+} // namespace tensordash

@@ -1,0 +1,54 @@
+#include "sparsity/temporal.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+namespace {
+
+/** Piecewise-linear interpolation over (x, y) knots. */
+double
+piecewise(const double *xs, const double *ys, int n, double x)
+{
+    if (x <= xs[0])
+        return ys[0];
+    for (int i = 1; i < n; ++i) {
+        if (x <= xs[i]) {
+            double t = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+            return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+        }
+    }
+    return ys[n - 1];
+}
+
+} // namespace
+
+double
+temporalSparsityScale(TemporalShape shape, double progress)
+{
+    TD_ASSERT(progress >= 0.0 && progress <= 1.0,
+              "progress %f out of range", progress);
+    switch (shape) {
+      case TemporalShape::DenseModel: {
+        // Low at random init, rapid rise, plateau to ~45%, gradual
+        // decline through the third quarter, stable at the end.
+        static const double xs[] = {0.0, 0.04, 0.10, 0.45, 0.75, 1.0};
+        static const double ys[] = {0.55, 0.85, 1.02, 1.02, 0.88, 0.88};
+        return piecewise(xs, ys, 6, progress);
+      }
+      case TemporalShape::PrunedModel: {
+        // Aggressive pruning up front; training reclaims weights to
+        // recover accuracy, settling by ~5% of the epochs.
+        static const double xs[] = {0.0, 0.03, 0.06, 1.0};
+        static const double ys[] = {1.10, 1.04, 1.0, 1.0};
+        return piecewise(xs, ys, 4, progress);
+      }
+      case TemporalShape::Flat:
+        return 1.0;
+    }
+    return 1.0;
+}
+
+} // namespace tensordash

@@ -1,0 +1,37 @@
+#ifndef TENSORDASH_SPARSITY_TEMPORAL_HH_
+#define TENSORDASH_SPARSITY_TEMPORAL_HH_
+
+/**
+ * @file
+ * Temporal sparsity profiles across training (paper Fig. 14).
+ *
+ * Dense models follow an overturned-U: sparsity starts low at random
+ * initialisation, rises rapidly over the first epochs as the model
+ * learns which features are irrelevant, plateaus until mid-training,
+ * dips as the model reclaims discarded features, and stabilises in the
+ * final quarter.  Models trained with pruning start with aggressively
+ * high sparsity that training partially reclaims before settling.
+ */
+
+namespace tensordash {
+
+/** Shape of the sparsity-vs-progress curve. */
+enum class TemporalShape
+{
+    DenseModel,  ///< overturned U (AlexNet/VGG style)
+    PrunedModel, ///< high start, reclaim, settle
+    Flat,        ///< no temporal variation
+};
+
+/**
+ * Multiplier applied to a model's mid-training sparsity target.
+ *
+ * @param shape    curve family
+ * @param progress training progress in [0, 1]
+ * @return scale factor (1.0 at the mid-training reference point)
+ */
+double temporalSparsityScale(TemporalShape shape, double progress);
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SPARSITY_TEMPORAL_HH_

@@ -1,0 +1,79 @@
+#ifndef TENSORDASH_TENSOR_BFLOAT16_HH_
+#define TENSORDASH_TENSOR_BFLOAT16_HH_
+
+/**
+ * @file
+ * bfloat16 storage type.
+ *
+ * TensorDash is datatype agnostic (paper section 3); the simulator's
+ * functional path can round operands through bfloat16 to model the
+ * bfloat16 accelerator configuration of section 4.4.  Arithmetic is
+ * performed in float after conversion, which matches hardware that keeps
+ * an FP32 accumulator.
+ */
+
+#include <cstdint>
+#include <cstring>
+
+namespace tensordash {
+
+/** 16-bit brain floating point: 1 sign, 8 exponent, 7 mantissa bits. */
+class bfloat16
+{
+  public:
+    bfloat16() = default;
+
+    /** Round-to-nearest-even conversion from float. */
+    explicit bfloat16(float value) : bits_(fromFloat(value)) {}
+
+    /** @return the represented value widened to float. */
+    float
+    toFloat() const
+    {
+        uint32_t wide = (uint32_t)bits_ << 16;
+        float out;
+        std::memcpy(&out, &wide, sizeof(out));
+        return out;
+    }
+
+    /** Raw storage bits. */
+    uint16_t bits() const { return bits_; }
+
+    /** Construct from raw storage bits. */
+    static bfloat16
+    fromBits(uint16_t bits)
+    {
+        bfloat16 v;
+        v.bits_ = bits;
+        return v;
+    }
+
+    bool operator==(const bfloat16 &o) const { return bits_ == o.bits_; }
+
+  private:
+    static uint16_t
+    fromFloat(float value)
+    {
+        uint32_t in;
+        std::memcpy(&in, &value, sizeof(in));
+        // NaN: preserve a quiet NaN rather than rounding into infinity.
+        if ((in & 0x7fffffffu) > 0x7f800000u)
+            return (uint16_t)((in >> 16) | 0x0040u);
+        // Round to nearest even on the truncated 16 bits.
+        uint32_t rounding = 0x7fffu + ((in >> 16) & 1u);
+        return (uint16_t)((in + rounding) >> 16);
+    }
+
+    uint16_t bits_ = 0;
+};
+
+/** Round a float through bfloat16 precision. */
+inline float
+bf16Round(float value)
+{
+    return bfloat16(value).toFloat();
+}
+
+} // namespace tensordash
+
+#endif // TENSORDASH_TENSOR_BFLOAT16_HH_

@@ -1,0 +1,199 @@
+#include "tensor/conv_ref.hh"
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+Tensor
+conv2dForward(const Tensor &acts, const Tensor &weights,
+              const ConvSpec &spec)
+{
+    const Shape &as = acts.shape();
+    const Shape &ws = weights.shape();
+    TD_ASSERT(as.c == ws.c, "channel mismatch: acts %s weights %s",
+              as.str().c_str(), ws.str().c_str());
+    int oh = spec.outDim(as.h, ws.h);
+    int ow = spec.outDim(as.w, ws.w);
+    TD_ASSERT(oh > 0 && ow > 0, "non-positive conv output %dx%d", oh, ow);
+
+    Tensor out(as.n, ws.n, oh, ow);
+    for (int n = 0; n < as.n; ++n) {
+        for (int f = 0; f < ws.n; ++f) {
+            for (int oy = 0; oy < oh; ++oy) {
+                for (int ox = 0; ox < ow; ++ox) {
+                    double acc = 0.0;
+                    for (int c = 0; c < as.c; ++c) {
+                        for (int ky = 0; ky < ws.h; ++ky) {
+                            int iy = oy * spec.stride + ky - spec.pad;
+                            if (iy < 0 || iy >= as.h)
+                                continue;
+                            for (int kx = 0; kx < ws.w; ++kx) {
+                                int ix = ox * spec.stride + kx - spec.pad;
+                                if (ix < 0 || ix >= as.w)
+                                    continue;
+                                acc += (double)acts.at(n, c, iy, ix) *
+                                       (double)weights.at(f, c, ky, kx);
+                            }
+                        }
+                    }
+                    out.at(n, f, oy, ox) = (float)acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+conv2dBackwardData(const Tensor &out_grads, const Tensor &weights,
+                   const Shape &input_shape, const ConvSpec &spec)
+{
+    const Shape &gs = out_grads.shape();
+    const Shape &ws = weights.shape();
+    TD_ASSERT(gs.c == ws.n, "filter mismatch: grads %s weights %s",
+              gs.str().c_str(), ws.str().c_str());
+    TD_ASSERT(input_shape.c == ws.c, "channel mismatch in backward data");
+
+    Tensor in_grads(input_shape);
+    for (int n = 0; n < gs.n; ++n) {
+        for (int c = 0; c < input_shape.c; ++c) {
+            for (int iy = 0; iy < input_shape.h; ++iy) {
+                for (int ix = 0; ix < input_shape.w; ++ix) {
+                    double acc = 0.0;
+                    for (int f = 0; f < ws.n; ++f) {
+                        for (int ky = 0; ky < ws.h; ++ky) {
+                            int num_y = iy + spec.pad - ky;
+                            if (num_y < 0 || num_y % spec.stride)
+                                continue;
+                            int oy = num_y / spec.stride;
+                            if (oy >= gs.h)
+                                continue;
+                            for (int kx = 0; kx < ws.w; ++kx) {
+                                int num_x = ix + spec.pad - kx;
+                                if (num_x < 0 || num_x % spec.stride)
+                                    continue;
+                                int ox = num_x / spec.stride;
+                                if (ox >= gs.w)
+                                    continue;
+                                acc += (double)out_grads.at(n, f, oy, ox) *
+                                       (double)weights.at(f, c, ky, kx);
+                            }
+                        }
+                    }
+                    in_grads.at(n, c, iy, ix) = (float)acc;
+                }
+            }
+        }
+    }
+    return in_grads;
+}
+
+Tensor
+conv2dBackwardWeights(const Tensor &out_grads, const Tensor &acts,
+                      int kernel_h, int kernel_w, const ConvSpec &spec)
+{
+    const Shape &gs = out_grads.shape();
+    const Shape &as = acts.shape();
+    TD_ASSERT(gs.n == as.n, "batch mismatch in backward weights");
+
+    Tensor w_grads(gs.c, as.c, kernel_h, kernel_w);
+    for (int f = 0; f < gs.c; ++f) {
+        for (int c = 0; c < as.c; ++c) {
+            for (int ky = 0; ky < kernel_h; ++ky) {
+                for (int kx = 0; kx < kernel_w; ++kx) {
+                    double acc = 0.0;
+                    for (int n = 0; n < gs.n; ++n) {
+                        for (int oy = 0; oy < gs.h; ++oy) {
+                            int iy = oy * spec.stride + ky - spec.pad;
+                            if (iy < 0 || iy >= as.h)
+                                continue;
+                            for (int ox = 0; ox < gs.w; ++ox) {
+                                int ix = ox * spec.stride + kx - spec.pad;
+                                if (ix < 0 || ix >= as.w)
+                                    continue;
+                                acc += (double)out_grads.at(n, f, oy, ox) *
+                                       (double)acts.at(n, c, iy, ix);
+                            }
+                        }
+                    }
+                    w_grads.at(f, c, ky, kx) = (float)acc;
+                }
+            }
+        }
+    }
+    return w_grads;
+}
+
+Tensor
+reconstructBackwardFilters(const Tensor &weights)
+{
+    const Shape &ws = weights.shape();
+    Tensor rec(ws.c, ws.n, ws.h, ws.w);
+    for (int c = 0; c < ws.c; ++c)
+        for (int f = 0; f < ws.n; ++f)
+            for (int ky = 0; ky < ws.h; ++ky)
+                for (int kx = 0; kx < ws.w; ++kx)
+                    rec.at(c, f, ky, kx) =
+                        weights.at(f, c, ws.h - 1 - ky, ws.w - 1 - kx);
+    return rec;
+}
+
+Tensor
+fcForward(const Tensor &acts, const Tensor &weights)
+{
+    const Shape &as = acts.shape();
+    const Shape &ws = weights.shape();
+    TD_ASSERT(as.c == ws.c && as.h == 1 && as.w == 1 && ws.h == 1 &&
+              ws.w == 1, "fcForward expects (N,C,1,1) x (F,C,1,1)");
+    Tensor out(as.n, ws.n, 1, 1);
+    for (int n = 0; n < as.n; ++n) {
+        for (int f = 0; f < ws.n; ++f) {
+            double acc = 0.0;
+            for (int c = 0; c < as.c; ++c)
+                acc += (double)acts.at(n, c, 0, 0) *
+                       (double)weights.at(f, c, 0, 0);
+            out.at(n, f, 0, 0) = (float)acc;
+        }
+    }
+    return out;
+}
+
+Tensor
+fcBackwardData(const Tensor &out_grads, const Tensor &weights)
+{
+    const Shape &gs = out_grads.shape();
+    const Shape &ws = weights.shape();
+    TD_ASSERT(gs.c == ws.n, "fcBackwardData filter mismatch");
+    Tensor in_grads(gs.n, ws.c, 1, 1);
+    for (int n = 0; n < gs.n; ++n) {
+        for (int c = 0; c < ws.c; ++c) {
+            double acc = 0.0;
+            for (int f = 0; f < ws.n; ++f)
+                acc += (double)out_grads.at(n, f, 0, 0) *
+                       (double)weights.at(f, c, 0, 0);
+            in_grads.at(n, c, 0, 0) = (float)acc;
+        }
+    }
+    return in_grads;
+}
+
+Tensor
+fcBackwardWeights(const Tensor &out_grads, const Tensor &acts)
+{
+    const Shape &gs = out_grads.shape();
+    const Shape &as = acts.shape();
+    TD_ASSERT(gs.n == as.n, "fcBackwardWeights batch mismatch");
+    Tensor w_grads(gs.c, as.c, 1, 1);
+    for (int f = 0; f < gs.c; ++f) {
+        for (int c = 0; c < as.c; ++c) {
+            double acc = 0.0;
+            for (int n = 0; n < gs.n; ++n)
+                acc += (double)out_grads.at(n, f, 0, 0) *
+                       (double)acts.at(n, c, 0, 0);
+            w_grads.at(f, c, 0, 0) = (float)acc;
+        }
+    }
+    return w_grads;
+}
+
+} // namespace tensordash

@@ -1,0 +1,97 @@
+#ifndef TENSORDASH_TENSOR_CONV_REF_HH_
+#define TENSORDASH_TENSOR_CONV_REF_HH_
+
+/**
+ * @file
+ * Reference implementations of the three training convolutions
+ * (paper section 2, Table 1).  These plain loop nests define functional
+ * correctness for the NN framework and for the accelerator simulator:
+ * everything else in the repository must reproduce their results.
+ *
+ *   forward          O  = W  (*) A        (Eq. 4/5)
+ *   backward data    GA = GO (*) W'       (Eq. 6/7; W' is the channel-wise
+ *                                          reconstructed, 180-degree rotated
+ *                                          filter bank, GO dilated by the
+ *                                          stride)
+ *   backward weights GW = GO (*) A        (Eq. 8/9; GO dilated by stride)
+ *
+ * The backward passes are implemented as direct gather loops, which is
+ * mathematically identical to the dilation/rotation formulation and easier
+ * to verify.
+ */
+
+#include "tensor/tensor.hh"
+
+namespace tensordash {
+
+/** Static configuration of a convolution. */
+struct ConvSpec
+{
+    int stride = 1;
+    int pad = 0;
+
+    /** Output spatial size for an input extent @p in and kernel @p k. */
+    int
+    outDim(int in, int k) const
+    {
+        return (in + 2 * pad - k) / stride + 1;
+    }
+};
+
+/**
+ * Forward convolution O = W (*) A.
+ *
+ * @param acts    input activations (N, C, H, W)
+ * @param weights filters (F, C, Kh, Kw)
+ * @param spec    stride / padding
+ * @return output activations (N, F, Oh, Ow)
+ */
+Tensor conv2dForward(const Tensor &acts, const Tensor &weights,
+                     const ConvSpec &spec);
+
+/**
+ * Backward-data convolution GA = GO (*) W' (Eq. 6).
+ *
+ * @param out_grads  output-activation gradients (N, F, Oh, Ow)
+ * @param weights    forward filters (F, C, Kh, Kw)
+ * @param input_shape shape of the forward input (N, C, H, W)
+ * @param spec       forward stride / padding
+ * @return input-activation gradients with @p input_shape
+ */
+Tensor conv2dBackwardData(const Tensor &out_grads, const Tensor &weights,
+                          const Shape &input_shape, const ConvSpec &spec);
+
+/**
+ * Backward-weights convolution GW = GO (*) A (Eq. 8).
+ *
+ * @param out_grads output-activation gradients (N, F, Oh, Ow)
+ * @param acts      forward input activations (N, C, H, W)
+ * @param kernel_h  filter height Kh
+ * @param kernel_w  filter width Kw
+ * @param spec      forward stride / padding
+ * @return weight gradients (F, C, Kh, Kw), summed over the batch
+ */
+Tensor conv2dBackwardWeights(const Tensor &out_grads, const Tensor &acts,
+                             int kernel_h, int kernel_w,
+                             const ConvSpec &spec);
+
+/**
+ * Reconstruct the backward filter bank of Eq. 6: take the weights of
+ * channel c across all F filters, stack them along the channel dimension
+ * and rotate each kernel by 180 degrees.  Returned shape (C, F, Kh, Kw).
+ * Exposed so the dataflow and transposer tests can validate against it.
+ */
+Tensor reconstructBackwardFilters(const Tensor &weights);
+
+/** Fully connected forward: O(N, F) = A(N, C) x W(F, C). */
+Tensor fcForward(const Tensor &acts, const Tensor &weights);
+
+/** Fully connected backward data: GA(N, C) = GO(N, F) x W(F, C). */
+Tensor fcBackwardData(const Tensor &out_grads, const Tensor &weights);
+
+/** Fully connected backward weights: GW(F, C) = GO^T(F, N) x A(N, C). */
+Tensor fcBackwardWeights(const Tensor &out_grads, const Tensor &acts);
+
+} // namespace tensordash
+
+#endif // TENSORDASH_TENSOR_CONV_REF_HH_

@@ -1,0 +1,121 @@
+#include "tensor/tensor.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "tensor/bfloat16.hh"
+
+namespace tensordash {
+
+std::string
+Shape::str() const
+{
+    std::ostringstream os;
+    os << "(" << n << ", " << c << ", " << h << ", " << w << ")";
+    return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(shape), data_(shape.size(), 0.0f)
+{
+    TD_ASSERT(shape.n > 0 && shape.c > 0 && shape.h > 0 && shape.w > 0,
+              "invalid tensor shape %s", shape.str().c_str());
+}
+
+Tensor::Tensor(int n, int c, int h, int w) : Tensor(Shape{n, c, h, w})
+{
+}
+
+float &
+Tensor::at(int n, int c, int h, int w)
+{
+    return data_[index(n, c, h, w)];
+}
+
+float
+Tensor::at(int n, int c, int h, int w) const
+{
+    return data_[index(n, c, h, w)];
+}
+
+void
+Tensor::fill(float value)
+{
+    for (auto &v : data_)
+        v = value;
+}
+
+void
+Tensor::fillNormal(Rng &rng, float mean, float stddev)
+{
+    for (auto &v : data_)
+        v = rng.normal(mean, stddev);
+}
+
+void
+Tensor::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (auto &v : data_)
+        v = rng.uniform(lo, hi);
+}
+
+void
+Tensor::fillSmallInt(Rng &rng, int mag)
+{
+    for (auto &v : data_)
+        v = (float)rng.uniformInt(-mag, mag);
+}
+
+void
+Tensor::dropout(Rng &rng, float p)
+{
+    for (auto &v : data_)
+        if (rng.bernoulli(p))
+            v = 0.0f;
+}
+
+double
+Tensor::sparsity() const
+{
+    if (data_.empty())
+        return 0.0;
+    return 1.0 - (double)nonzeros() / (double)data_.size();
+}
+
+size_t
+Tensor::nonzeros() const
+{
+    size_t count = 0;
+    for (float v : data_)
+        count += v != 0.0f;
+    return count;
+}
+
+void
+Tensor::quantizeBf16()
+{
+    for (auto &v : data_)
+        v = bf16Round(v);
+}
+
+void
+Tensor::axpy(float a, const Tensor &other)
+{
+    TD_ASSERT(sameShape(other), "axpy shape mismatch %s vs %s",
+              shape_.str().c_str(), other.shape_.str().c_str());
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] = a * data_[i] + other.data_[i];
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    TD_ASSERT(sameShape(other), "maxAbsDiff shape mismatch %s vs %s",
+              shape_.str().c_str(), other.shape_.str().c_str());
+    float worst = 0.0f;
+    for (size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+    return worst;
+}
+
+} // namespace tensordash

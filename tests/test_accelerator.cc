@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Integration tests for the accelerator top level: lowering + tiles +
+ * memory traffic + energy, plus the power-gating behaviour of paper
+ * section 3.5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/accelerator.hh"
+
+namespace tensordash {
+namespace {
+
+struct ConvTensors
+{
+    Tensor acts;
+    Tensor weights;
+    Tensor go;
+    ConvSpec spec;
+};
+
+ConvTensors
+makeLayer(Rng &rng, double act_sparsity, double grad_sparsity,
+          int n = 2, int c = 32, int h = 10, int f = 16, int k = 3,
+          int pad = 1)
+{
+    ConvSpec spec{1, pad};
+    ConvTensors t{Tensor(n, c, h, h), Tensor(f, c, k, k),
+                  Tensor(n, f, spec.outDim(h, k), spec.outDim(h, k)),
+                  spec};
+    t.acts.fillNormal(rng);
+    t.acts.dropout(rng, (float)act_sparsity);
+    t.weights.fillNormal(rng);
+    t.go.fillNormal(rng);
+    t.go.dropout(rng, (float)grad_sparsity);
+    return t;
+}
+
+AcceleratorConfig
+smallConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.tiles = 4;
+    cfg.max_sampled_macs = 300000;
+    return cfg;
+}
+
+TEST(Accelerator, DenseLayerGetsNoSpeedupButNoSlowdown)
+{
+    // pad = 0 so no boundary-halo zeros exist: streams are fully dense
+    // and TensorDash must match the baseline cycle for cycle.
+    Rng rng(1);
+    ConvTensors t = makeLayer(rng, 0.0, 0.0, 2, 32, 10, 16, 3, 0);
+    Accelerator accel(smallConfig());
+    OpResult r = accel.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                 t.go, t.spec);
+    EXPECT_NEAR(r.speedup(), 1.0, 1e-9);
+}
+
+TEST(Accelerator, PaddingHalosAreLegitimatelySkipped)
+{
+    // With pad = 1 the baseline burns cycles on boundary-halo zeros;
+    // TensorDash skips them, yielding a small speedup even on a fully
+    // dense tensor.
+    Rng rng(1);
+    ConvTensors t = makeLayer(rng, 0.0, 0.0);
+    Accelerator accel(smallConfig());
+    OpResult r = accel.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                 t.go, t.spec);
+    EXPECT_GT(r.speedup(), 1.0);
+    EXPECT_LT(r.speedup(), 1.1);
+}
+
+TEST(Accelerator, SparseActivationsSpeedUpForwardOnly)
+{
+    Rng rng(2);
+    ConvTensors t = makeLayer(rng, 0.6, 0.0);
+    Accelerator accel(smallConfig());
+    OpResult fwd = accel.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                   t.go, t.spec);
+    OpResult bwd = accel.runConvOp(TrainOp::BackwardData, t.acts,
+                                   t.weights, t.go, t.spec);
+    EXPECT_GT(fwd.speedup(), 1.5);
+    // Dense gradients: backward-data sees only stride-1 full windows,
+    // no sparsity -> no speedup beyond boundary effects.
+    EXPECT_LT(bwd.speedup(), 1.2);
+}
+
+TEST(Accelerator, SparseGradientsSpeedUpBackward)
+{
+    Rng rng(3);
+    ConvTensors t = makeLayer(rng, 0.0, 0.7);
+    Accelerator accel(smallConfig());
+    OpResult bwd_data = accel.runConvOp(TrainOp::BackwardData, t.acts,
+                                        t.weights, t.go, t.spec);
+    OpResult bwd_w = accel.runConvOp(TrainOp::BackwardWeights, t.acts,
+                                     t.weights, t.go, t.spec);
+    EXPECT_GT(bwd_data.speedup(), 1.5);
+    EXPECT_GT(bwd_w.speedup(), 1.5);
+}
+
+TEST(Accelerator, SpeedupNeverExceedsStagingDepth)
+{
+    Rng rng(4);
+    for (double sp : {0.5, 0.9, 0.99}) {
+        ConvTensors t = makeLayer(rng, sp, sp);
+        Accelerator accel(smallConfig());
+        for (TrainOp op : {TrainOp::Forward, TrainOp::BackwardData,
+                           TrainOp::BackwardWeights}) {
+            OpResult r = accel.runConvOp(op, t.acts, t.weights, t.go,
+                                         t.spec);
+            EXPECT_LE(r.speedup(), 3.0 + 1e-9);
+            EXPECT_GE(r.speedup(), 1.0 - 1e-9);
+        }
+    }
+}
+
+TEST(Accelerator, PotentialBoundsActualSpeedup)
+{
+    Rng rng(5);
+    ConvTensors t = makeLayer(rng, 0.5, 0.5);
+    Accelerator accel(smallConfig());
+    OpResult r = accel.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                 t.go, t.spec);
+    EXPECT_LE(r.speedup(),
+              std::min(3.0, r.potentialSpeedup()) + 1e-9);
+    EXPECT_GT(r.potentialSpeedup(), 1.5);
+}
+
+TEST(Accelerator, TileCountDividesCycles)
+{
+    Rng rng(6);
+    ConvTensors t = makeLayer(rng, 0.4, 0.0);
+    AcceleratorConfig one = smallConfig();
+    one.tiles = 1;
+    AcceleratorConfig four = smallConfig();
+    four.tiles = 4;
+    Accelerator a1(one), a4(four);
+    OpResult r1 = a1.runConvOp(TrainOp::Forward, t.acts, t.weights, t.go,
+                               t.spec);
+    OpResult r4 = a4.runConvOp(TrainOp::Forward, t.acts, t.weights, t.go,
+                               t.spec);
+    EXPECT_NEAR(r1.td_cycles / r4.td_cycles, 4.0, 1e-6);
+    EXPECT_NEAR(r1.speedup(), r4.speedup(), 1e-9);
+}
+
+TEST(Accelerator, MemoryTrafficCharged)
+{
+    Rng rng(7);
+    ConvTensors t = makeLayer(rng, 0.5, 0.5);
+    Accelerator accel(smallConfig());
+    OpResult fwd = accel.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                   t.go, t.spec, 0.5);
+    EXPECT_GT(fwd.activity.dram_read_bytes, 0.0);
+    EXPECT_GT(fwd.activity.dram_write_bytes, 0.0);
+    EXPECT_GT(fwd.activity.sram_block_reads, 0.0);
+    EXPECT_EQ(fwd.activity.transposer_groups, 0.0); // no transpose
+
+    OpResult bwd = accel.runConvOp(TrainOp::BackwardData, t.acts,
+                                   t.weights, t.go, t.spec, 0.5);
+    EXPECT_GT(bwd.activity.transposer_groups, 0.0);
+}
+
+TEST(Accelerator, CompressedTrafficShrinksWithSparsity)
+{
+    Rng rng(8);
+    ConvTensors dense = makeLayer(rng, 0.0, 0.0);
+    ConvTensors sparse = makeLayer(rng, 0.9, 0.0);
+    Accelerator accel(smallConfig());
+    OpResult rd = accel.runConvOp(TrainOp::Forward, dense.acts,
+                                  dense.weights, dense.go, dense.spec);
+    OpResult rs = accel.runConvOp(TrainOp::Forward, sparse.acts,
+                                  sparse.weights, sparse.go, sparse.spec);
+    EXPECT_LT(rs.activity.dram_read_bytes, rd.activity.dram_read_bytes);
+}
+
+TEST(Accelerator, EnergyEfficiencyTracksSpeedup)
+{
+    Rng rng(9);
+    ConvTensors t = makeLayer(rng, 0.65, 0.0);
+    Accelerator accel(smallConfig());
+    OpResult r = accel.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                 t.go, t.spec, 0.65);
+    EnergyBreakdown base = accel.energy(r, false);
+    EnergyBreakdown td = accel.energy(r, true);
+    double core_eff = base.core_j / td.core_j;
+    double overall_eff = base.total() / td.total();
+    // Core efficiency ~ speedup / power overhead.
+    EXPECT_NEAR(core_eff, r.speedup() * 13957.0 / 14205.0, 0.02);
+    // Overall efficiency diluted by the (identical) memory energy.
+    EXPECT_LT(overall_eff, core_eff);
+    EXPECT_GT(overall_eff, 1.0);
+}
+
+TEST(Accelerator, PowerGatingSkipsSparseFrontEndWhenDense)
+{
+    Rng rng(10);
+    ConvTensors t = makeLayer(rng, 0.0, 0.0);
+    AcceleratorConfig cfg = smallConfig();
+    cfg.power_gating = true;
+    Accelerator accel(cfg);
+    // Counters observed a dense activation tensor.
+    accel.powerGate().observe("acts", 0.0);
+    OpResult r = accel.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                 t.go, t.spec);
+    EXPECT_TRUE(r.gated);
+    EXPECT_NEAR(r.speedup(), 1.0, 1e-12);
+    // Gated runs burn baseline power: no energy penalty.
+    EnergyBreakdown base = accel.energy(r, false);
+    EnergyBreakdown td = accel.energy(r, true);
+    EXPECT_DOUBLE_EQ(base.total(), td.total());
+}
+
+TEST(Accelerator, PowerGatingKeepsFrontEndWhenSparse)
+{
+    Rng rng(11);
+    ConvTensors t = makeLayer(rng, 0.6, 0.0);
+    AcceleratorConfig cfg = smallConfig();
+    cfg.power_gating = true;
+    Accelerator accel(cfg);
+    accel.powerGate().observe("acts", 0.6);
+    OpResult r = accel.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                 t.go, t.spec);
+    EXPECT_FALSE(r.gated);
+    EXPECT_GT(r.speedup(), 1.5);
+}
+
+TEST(PowerGate, DefaultsToEnabledUntilObserved)
+{
+    PowerGateController gate(0.05);
+    EXPECT_TRUE(gate.enabled("layer0.acts"));
+    gate.observe("layer0.acts", 0.01);
+    EXPECT_FALSE(gate.enabled("layer0.acts"));
+    gate.observe("layer0.acts", 0.5);
+    EXPECT_TRUE(gate.enabled("layer0.acts"));
+    EXPECT_DOUBLE_EQ(gate.lastObserved("layer0.acts"), 0.5);
+    EXPECT_DOUBLE_EQ(gate.lastObserved("unknown"), -1.0);
+    gate.clear();
+    EXPECT_TRUE(gate.enabled("layer0.acts"));
+}
+
+TEST(Accelerator, OpResultMergeAggregates)
+{
+    OpResult a, b;
+    a.base_cycles = 100;
+    a.td_cycles = 50;
+    a.mac_slots = 1000;
+    b.base_cycles = 50;
+    b.td_cycles = 50;
+    b.mac_slots = 500;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.base_cycles, 150.0);
+    EXPECT_DOUBLE_EQ(a.speedup(), 1.5);
+    EXPECT_DOUBLE_EQ(a.mac_slots, 1500.0);
+}
+
+TEST(Accelerator, SampledSpeedupMatchesExhaustive)
+{
+    // Sampling must give an unbiased estimate of the full-layer
+    // speedup: compare against the exhaustive run on a mid-size layer.
+    Rng rng(12);
+    ConvTensors t = makeLayer(rng, 0.55, 0.0, 1, 24, 12, 8, 3);
+    AcceleratorConfig full_cfg = smallConfig();
+    full_cfg.max_sampled_macs = 0;
+    AcceleratorConfig samp_cfg = smallConfig();
+    samp_cfg.max_sampled_macs = 200000;
+    Accelerator full(full_cfg), sampled(samp_cfg);
+    OpResult rf = full.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                 t.go, t.spec);
+    OpResult rs = sampled.runConvOp(TrainOp::Forward, t.acts, t.weights,
+                                    t.go, t.spec);
+    EXPECT_NEAR(rs.speedup(), rf.speedup(), 0.1);
+}
+
+} // namespace
+} // namespace tensordash

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the common substrate: logging, RNG, stats, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace tensordash {
+namespace {
+
+class ThrowingLog : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowMode(true); }
+    void TearDown() override { setLogThrowMode(false); }
+};
+
+TEST_F(ThrowingLog, FatalThrowsSimError)
+{
+    EXPECT_THROW(TD_FATAL("bad config value %d", 42), SimError);
+}
+
+TEST_F(ThrowingLog, PanicThrowsSimError)
+{
+    EXPECT_THROW(TD_PANIC("invariant violated"), SimError);
+}
+
+TEST_F(ThrowingLog, AssertPassesWhenTrue)
+{
+    EXPECT_NO_THROW(TD_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST_F(ThrowingLog, AssertThrowsWhenFalse)
+{
+    EXPECT_THROW(TD_ASSERT(false, "always fails"), SimError);
+}
+
+TEST_F(ThrowingLog, ErrorMessageIsFormatted)
+{
+    try {
+        TD_FATAL("value=%d name=%s", 7, "x");
+        FAIL() << "should have thrown";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.message, "value=7 name=x");
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniform() == b.uniform();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        float v = rng.uniform(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int v = rng.uniformInt(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(99);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.3f);
+    EXPECT_NEAR(hits / (double)trials, 0.3, 0.02);
+}
+
+TEST(Rng, BetaStaysInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        float v = rng.beta(0.5f, 0.5f);
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng parent(42);
+    Rng child = parent.fork();
+    // The fork must not replay the parent sequence.
+    Rng parent2(42);
+    parent2.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += child.uniform() == parent.uniform();
+    EXPECT_LT(same, 5);
+}
+
+TEST(StatSet, CountersAccumulate)
+{
+    StatSet s;
+    s.inc("cycles");
+    s.inc("cycles", 9);
+    EXPECT_EQ(s.count("cycles"), 10u);
+    EXPECT_EQ(s.count("absent"), 0u);
+}
+
+TEST(StatSet, ScalarsAccumulateAndSet)
+{
+    StatSet s;
+    s.add("energy", 1.5);
+    s.add("energy", 2.5);
+    EXPECT_DOUBLE_EQ(s.value("energy"), 4.0);
+    s.set("energy", 7.0);
+    EXPECT_DOUBLE_EQ(s.value("energy"), 7.0);
+}
+
+TEST(StatSet, MergeSums)
+{
+    StatSet a, b;
+    a.inc("n", 3);
+    a.add("x", 1.0);
+    b.inc("n", 4);
+    b.add("x", 2.0);
+    b.inc("only_b", 5);
+    a.merge(b);
+    EXPECT_EQ(a.count("n"), 7u);
+    EXPECT_DOUBLE_EQ(a.value("x"), 3.0);
+    EXPECT_EQ(a.count("only_b"), 5u);
+}
+
+TEST(StatSet, HasAndClear)
+{
+    StatSet s;
+    EXPECT_FALSE(s.has("n"));
+    s.inc("n");
+    EXPECT_TRUE(s.has("n"));
+    s.clear();
+    EXPECT_FALSE(s.has("n"));
+}
+
+TEST(Stats, GeomeanOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t("caption");
+    t.header({"model", "speedup"});
+    t.row({"alexnet", "2.10"});
+    t.row({"vgg", "1.80"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("caption"), std::string::npos);
+    EXPECT_NE(s.find("alexnet"), std::string::npos);
+    EXPECT_NE(s.find("2.10"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t;
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumericRowFormatting)
+{
+    Table t;
+    t.header({"label", "x", "y"});
+    t.rowNumeric("r", {1.234, 5.678}, 1);
+    EXPECT_NE(t.str().find("1.2"), std::string::npos);
+    EXPECT_NE(t.str().find("5.7"), std::string::npos);
+}
+
+TEST(Format, Helpers)
+{
+    EXPECT_EQ(fmtDouble(1.005, 2), "1.00");
+    EXPECT_EQ(fmtSpeedup(1.95), "1.95x");
+    EXPECT_EQ(fmtPercent(0.425, 1), "42.5%");
+}
+
+} // namespace
+} // namespace tensordash

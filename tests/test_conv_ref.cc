@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the reference convolutions (paper Table 1).
+ *
+ * Forward is validated against hand-computed cases; the backward passes
+ * are validated against numerical differentiation of the forward pass,
+ * which pins down Eq. 6 (rotated/reconstructed filters, dilated
+ * gradients) and Eq. 8 exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hh"
+#include "tensor/conv_ref.hh"
+
+namespace tensordash {
+namespace {
+
+TEST(ConvSpec, OutputDims)
+{
+    ConvSpec s1{1, 0};
+    EXPECT_EQ(s1.outDim(5, 3), 3);
+    ConvSpec s2{2, 1};
+    EXPECT_EQ(s2.outDim(8, 3), 4);
+    ConvSpec s3{1, 1};
+    EXPECT_EQ(s3.outDim(8, 3), 8);
+}
+
+TEST(ConvForward, IdentityKernel)
+{
+    Tensor a(1, 1, 3, 3);
+    for (int i = 0; i < 9; ++i)
+        a[i] = (float)(i + 1);
+    Tensor w(1, 1, 1, 1);
+    w[0] = 2.0f;
+    Tensor o = conv2dForward(a, w, ConvSpec{1, 0});
+    EXPECT_EQ(o.shape(), (Shape{1, 1, 3, 3}));
+    for (int i = 0; i < 9; ++i)
+        EXPECT_EQ(o[i], 2.0f * (i + 1));
+}
+
+TEST(ConvForward, HandComputed3x3)
+{
+    // 1x1x3x3 input of ones, 3x3 kernel of ones, no padding: single
+    // output equal to 9.
+    Tensor a(1, 1, 3, 3);
+    a.fill(1.0f);
+    Tensor w(1, 1, 3, 3);
+    w.fill(1.0f);
+    Tensor o = conv2dForward(a, w, ConvSpec{1, 0});
+    EXPECT_EQ(o.shape(), (Shape{1, 1, 1, 1}));
+    EXPECT_EQ(o[0], 9.0f);
+}
+
+TEST(ConvForward, PaddingCountsOnlyValidTaps)
+{
+    Tensor a(1, 1, 2, 2);
+    a.fill(1.0f);
+    Tensor w(1, 1, 3, 3);
+    w.fill(1.0f);
+    Tensor o = conv2dForward(a, w, ConvSpec{1, 1});
+    EXPECT_EQ(o.shape(), (Shape{1, 1, 2, 2}));
+    // Each output sees exactly the 4 valid input positions.
+    for (size_t i = 0; i < o.size(); ++i)
+        EXPECT_EQ(o[i], 4.0f);
+}
+
+TEST(ConvForward, StrideSkipsPositions)
+{
+    Tensor a(1, 1, 4, 4);
+    for (int i = 0; i < 16; ++i)
+        a[i] = (float)i;
+    Tensor w(1, 1, 1, 1);
+    w[0] = 1.0f;
+    Tensor o = conv2dForward(a, w, ConvSpec{2, 0});
+    EXPECT_EQ(o.shape(), (Shape{1, 1, 2, 2}));
+    EXPECT_EQ(o.at(0, 0, 0, 0), 0.0f);
+    EXPECT_EQ(o.at(0, 0, 0, 1), 2.0f);
+    EXPECT_EQ(o.at(0, 0, 1, 0), 8.0f);
+    EXPECT_EQ(o.at(0, 0, 1, 1), 10.0f);
+}
+
+TEST(ConvForward, MultiChannelMultiFilter)
+{
+    Rng rng(1);
+    Tensor a(2, 3, 5, 5);
+    a.fillSmallInt(rng, 3);
+    Tensor w(4, 3, 3, 3);
+    w.fillSmallInt(rng, 3);
+    Tensor o = conv2dForward(a, w, ConvSpec{1, 1});
+    EXPECT_EQ(o.shape(), (Shape{2, 4, 5, 5}));
+
+    // Spot check one output with an independent direct sum.
+    double acc = 0.0;
+    int n = 1, f = 2, oy = 2, ox = 3;
+    for (int c = 0; c < 3; ++c)
+        for (int ky = 0; ky < 3; ++ky)
+            for (int kx = 0; kx < 3; ++kx) {
+                int iy = oy + ky - 1, ix = ox + kx - 1;
+                if (iy < 0 || iy >= 5 || ix < 0 || ix >= 5)
+                    continue;
+                acc += a.at(n, c, iy, ix) * w.at(f, c, ky, kx);
+            }
+    EXPECT_EQ(o.at(n, f, oy, ox), (float)acc);
+}
+
+TEST(ReconstructBackwardFilters, ChannelStackAndRotation)
+{
+    // weights (F=2, C=3, 2x2) with distinct values.
+    Tensor w(2, 3, 2, 2);
+    for (size_t i = 0; i < w.size(); ++i)
+        w[i] = (float)i;
+    Tensor rec = reconstructBackwardFilters(w);
+    EXPECT_EQ(rec.shape(), (Shape{3, 2, 2, 2}));
+    // rec[c][f][ky][kx] == w[f][c][Kh-1-ky][Kw-1-kx]
+    for (int c = 0; c < 3; ++c)
+        for (int f = 0; f < 2; ++f)
+            for (int ky = 0; ky < 2; ++ky)
+                for (int kx = 0; kx < 2; ++kx)
+                    EXPECT_EQ(rec.at(c, f, ky, kx),
+                              w.at(f, c, 1 - ky, 1 - kx));
+}
+
+/** Parameterised gradient checks over conv geometries. */
+class ConvGradient : public ::testing::TestWithParam<
+    std::tuple<int, int, int, int, int, int>>
+{
+    // (C, F, H, K, stride, pad)
+};
+
+TEST_P(ConvGradient, BackwardDataMatchesNumericalGradient)
+{
+    auto [chans, filters, height, kernel, stride, pad] = GetParam();
+    if ((height + 2 * pad - kernel) < 0 ||
+        (height + 2 * pad - kernel) % stride) {
+        GTEST_SKIP() << "geometry does not tile";
+    }
+    Rng rng(77);
+    Tensor a(1, chans, height, height);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(filters, chans, kernel, kernel);
+    w.fillNormal(rng, 0.0f, 1.0f);
+    ConvSpec spec{stride, pad};
+
+    Tensor o = conv2dForward(a, w, spec);
+    // Upstream gradient: all ones, so dL/da = sum of dO/da terms.
+    Tensor go(o.shape());
+    go.fill(1.0f);
+    Tensor ga = conv2dBackwardData(go, w, a.shape(), spec);
+
+    // Numerical gradient at a few sampled positions.
+    const float eps = 1e-2f;
+    for (int trial = 0; trial < 6; ++trial) {
+        int c = rng.uniformInt(0, chans - 1);
+        int y = rng.uniformInt(0, height - 1);
+        int x = rng.uniformInt(0, height - 1);
+        float saved = a.at(0, c, y, x);
+        auto lossAt = [&](float v) {
+            a.at(0, c, y, x) = v;
+            Tensor out = conv2dForward(a, w, spec);
+            double sum = 0.0;
+            for (size_t i = 0; i < out.size(); ++i)
+                sum += out[i];
+            return sum;
+        };
+        double hi = lossAt(saved + eps);
+        double lo = lossAt(saved - eps);
+        a.at(0, c, y, x) = saved;
+        double numeric = (hi - lo) / (2.0 * eps);
+        EXPECT_NEAR(ga.at(0, c, y, x), numeric, 2e-2)
+            << "at c=" << c << " y=" << y << " x=" << x;
+    }
+}
+
+TEST_P(ConvGradient, BackwardWeightsMatchesNumericalGradient)
+{
+    auto [chans, filters, height, kernel, stride, pad] = GetParam();
+    if ((height + 2 * pad - kernel) < 0 ||
+        (height + 2 * pad - kernel) % stride) {
+        GTEST_SKIP() << "geometry does not tile";
+    }
+    Rng rng(78);
+    Tensor a(2, chans, height, height);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(filters, chans, kernel, kernel);
+    w.fillNormal(rng, 0.0f, 1.0f);
+    ConvSpec spec{stride, pad};
+
+    Tensor o = conv2dForward(a, w, spec);
+    Tensor go(o.shape());
+    go.fill(1.0f);
+    Tensor gw = conv2dBackwardWeights(go, a, kernel, kernel, spec);
+    EXPECT_EQ(gw.shape(), w.shape());
+
+    const float eps = 1e-2f;
+    for (int trial = 0; trial < 6; ++trial) {
+        int f = rng.uniformInt(0, filters - 1);
+        int c = rng.uniformInt(0, chans - 1);
+        int ky = rng.uniformInt(0, kernel - 1);
+        int kx = rng.uniformInt(0, kernel - 1);
+        float saved = w.at(f, c, ky, kx);
+        auto lossAt = [&](float v) {
+            w.at(f, c, ky, kx) = v;
+            Tensor out = conv2dForward(a, w, spec);
+            double sum = 0.0;
+            for (size_t i = 0; i < out.size(); ++i)
+                sum += out[i];
+            return sum;
+        };
+        double hi = lossAt(saved + eps);
+        double lo = lossAt(saved - eps);
+        w.at(f, c, ky, kx) = saved;
+        double numeric = (hi - lo) / (2.0 * eps);
+        EXPECT_NEAR(gw.at(f, c, ky, kx), numeric, 5e-2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGradient,
+    ::testing::Values(
+        std::make_tuple(1, 1, 5, 3, 1, 0),
+        std::make_tuple(3, 2, 6, 3, 1, 1),
+        std::make_tuple(2, 4, 8, 3, 2, 1),
+        std::make_tuple(4, 3, 7, 1, 1, 0),
+        std::make_tuple(2, 2, 9, 5, 2, 2),
+        std::make_tuple(3, 3, 8, 2, 2, 0)));
+
+TEST(ConvBackwardData, EquivalentToDilatedRotatedConvolution)
+{
+    // For stride 1 and full padding, backward-data equals a forward
+    // convolution of GO with the reconstructed (rotated, channel-stacked)
+    // filters -- the literal Eq. 6 formulation.
+    Rng rng(5);
+    Tensor a(1, 3, 6, 6);
+    a.fillSmallInt(rng, 2);
+    Tensor w(4, 3, 3, 3);
+    w.fillSmallInt(rng, 2);
+    ConvSpec spec{1, 1};
+    Tensor o = conv2dForward(a, w, spec);
+    Tensor go(o.shape());
+    go.fillSmallInt(rng, 2);
+
+    Tensor ga = conv2dBackwardData(go, w, a.shape(), spec);
+    Tensor rec = reconstructBackwardFilters(w);
+    // Eq. 6 with padding (K - 1 - pad) = 1 here.
+    Tensor ga_conv = conv2dForward(go, rec, ConvSpec{1, 1});
+    EXPECT_EQ(ga.shape(), ga_conv.shape());
+    EXPECT_EQ(ga.maxAbsDiff(ga_conv), 0.0f);
+}
+
+TEST(Fc, ForwardMatchesManual)
+{
+    Tensor a(2, 3, 1, 1);
+    Tensor w(2, 3, 1, 1);
+    for (int i = 0; i < 6; ++i) {
+        a[i] = (float)(i + 1);
+        w[i] = (float)(6 - i);
+    }
+    Tensor o = fcForward(a, w);
+    EXPECT_EQ(o.shape(), (Shape{2, 2, 1, 1}));
+    // sample 0: a = [1,2,3]; w0 = [6,5,4]; w1 = [3,2,1]
+    EXPECT_EQ(o.at(0, 0, 0, 0), 1 * 6 + 2 * 5 + 3 * 4);
+    EXPECT_EQ(o.at(0, 1, 0, 0), 1 * 3 + 2 * 2 + 3 * 1);
+}
+
+TEST(Fc, MatchesConvWith1x1Geometry)
+{
+    // A fully connected layer is a special-case convolution (paper
+    // section 2.1): check both paths agree.
+    Rng rng(9);
+    Tensor a(3, 8, 1, 1);
+    a.fillSmallInt(rng, 3);
+    Tensor w(5, 8, 1, 1);
+    w.fillSmallInt(rng, 3);
+    Tensor fc = fcForward(a, w);
+    Tensor conv = conv2dForward(a, w, ConvSpec{1, 0});
+    EXPECT_EQ(fc.maxAbsDiff(conv), 0.0f);
+
+    Tensor go(fc.shape());
+    go.fillSmallInt(rng, 3);
+    Tensor ga_fc = fcBackwardData(go, w);
+    Tensor ga_conv = conv2dBackwardData(go, w, a.shape(), ConvSpec{1, 0});
+    EXPECT_EQ(ga_fc.maxAbsDiff(ga_conv), 0.0f);
+
+    Tensor gw_fc = fcBackwardWeights(go, a);
+    Tensor gw_conv = conv2dBackwardWeights(go, a, 1, 1, ConvSpec{1, 0});
+    EXPECT_EQ(gw_fc.maxAbsDiff(gw_conv), 0.0f);
+}
+
+TEST(TrainingConvolutions, ThreeOpsShareMacCount)
+{
+    // The paper notes the three convolutions perform roughly the same
+    // number of MACs.  For stride 1, zero padding they are identical:
+    // N*F*Oh*Ow*C*Kh*Kw each.  This is a sanity check on our shape
+    // bookkeeping rather than on values.
+    int N = 2, C = 3, H = 8, F = 4, K = 3;
+    ConvSpec spec{1, 0};
+    int O = spec.outDim(H, K);
+    uint64_t fwd = (uint64_t)N * F * O * O * C * K * K;
+    uint64_t bwd_data = (uint64_t)N * C * H * H * F * K * K;
+    uint64_t bwd_w = (uint64_t)F * C * K * K * N * O * O;
+    EXPECT_EQ(fwd, bwd_w);
+    // Backward data touches H*H input positions vs O*O outputs.
+    EXPECT_NEAR((double)bwd_data / (double)fwd,
+                (double)(H * H) / (O * O), 1e-9);
+}
+
+} // namespace
+} // namespace tensordash

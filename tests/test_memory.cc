@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the memory system: SRAM activity, the 16x16 transposer
+ * (paper section 3.4), CompressingDMA and the LPDDR4 model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/memory/compressing_dma.hh"
+#include "sim/memory/dram.hh"
+#include "sim/memory/sram.hh"
+#include "sim/memory/transposer.hh"
+
+namespace tensordash {
+namespace {
+
+TEST(Sram, CountsAccesses)
+{
+    SramArray am("AM", 256 * 1024 * 4, 4, 64);
+    am.read(10);
+    am.write(3);
+    EXPECT_EQ(am.reads(), 10u);
+    EXPECT_EQ(am.writes(), 3u);
+    EXPECT_EQ(am.bytesAccessed(), 13u * 64u);
+    EXPECT_EQ(am.blocksPerCycle(), 4);
+    am.resetStats();
+    EXPECT_EQ(am.reads(), 0u);
+}
+
+TEST(Sram, RejectsUnevenBanking)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(SramArray("X", 1000, 3, 64), SimError);
+    setLogThrowMode(false);
+}
+
+TEST(Transposer, TransposesOneGroup)
+{
+    Transposer t;
+    ValueGroup g;
+    for (int r = 0; r < kGroupDim; ++r)
+        for (int c = 0; c < kGroupDim; ++c)
+            g.at(r, c) = (float)(r * 100 + c);
+    ValueGroup out = t.transpose(g);
+    for (int r = 0; r < kGroupDim; ++r)
+        for (int c = 0; c < kGroupDim; ++c)
+            EXPECT_EQ(out.at(c, r), g.at(r, c));
+    EXPECT_EQ(t.groups(), 1u);
+    EXPECT_EQ(t.blockReads(), 16u);
+    EXPECT_EQ(t.blocksServed(), 16u);
+    EXPECT_EQ(t.cycles(), 32u);
+}
+
+TEST(Transposer, DoubleTransposeIsIdentity)
+{
+    Rng rng(3);
+    Transposer t;
+    ValueGroup g;
+    for (auto &v : g.values)
+        v = rng.normal();
+    ValueGroup twice = t.transpose(t.transpose(g));
+    for (int i = 0; i < kGroupDim * kGroupDim; ++i)
+        EXPECT_EQ(twice.values[i], g.values[i]);
+}
+
+TEST(Transposer, BufferMustFitAGroup)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(Transposer(512), SimError);
+    setLogThrowMode(false);
+}
+
+/** Matrix transpose through grouped layout, parameterised on shape. */
+class TransposeMatrixTest : public ::testing::TestWithParam<
+    std::tuple<int, int>>
+{
+};
+
+TEST_P(TransposeMatrixTest, MatchesDirectTranspose)
+{
+    auto [rows, cols] = GetParam();
+    Rng rng(rows * 31 + cols);
+    std::vector<float> m((size_t)rows * cols);
+    for (auto &v : m)
+        v = rng.normal();
+    Transposer unit;
+    std::vector<float> t = transposeMatrix(m, rows, cols, unit);
+    ASSERT_EQ(t.size(), m.size());
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            EXPECT_EQ(t[(size_t)c * rows + r], m[(size_t)r * cols + c]);
+    EXPECT_EQ(unit.groups(), groupCount(rows, cols));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransposeMatrixTest,
+    ::testing::Values(std::make_tuple(16, 16), std::make_tuple(32, 16),
+                      std::make_tuple(16, 48), std::make_tuple(7, 5),
+                      std::make_tuple(17, 33), std::make_tuple(1, 16),
+                      std::make_tuple(64, 64)));
+
+TEST(GroupCount, RoundsUp)
+{
+    EXPECT_EQ(groupCount(16, 16), 1u);
+    EXPECT_EQ(groupCount(17, 16), 2u);
+    EXPECT_EQ(groupCount(17, 17), 4u);
+    EXPECT_EQ(groupCount(1, 1), 1u);
+}
+
+/** CompressingDMA round trip, parameterised on sparsity. */
+class DmaRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DmaRoundTrip, Fp32Lossless)
+{
+    int sparsity_pct = GetParam();
+    Rng rng(100 + sparsity_pct);
+    std::vector<float> data(1000);
+    for (auto &v : data)
+        v = rng.bernoulli(sparsity_pct / 100.0f) ? 0.0f : rng.normal();
+    auto stream = CompressingDma::compress(data, 4);
+    auto back = CompressingDma::decompress(stream, data.size(), 4);
+    ASSERT_EQ(back.size(), data.size());
+    for (size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(back[i], data[i]);
+    EXPECT_EQ(stream.size(),
+              CompressingDma::compressedBytes(
+                  std::count_if(data.begin(), data.end(),
+                                [](float v) { return v != 0.0f; }),
+                  data.size(), 4));
+}
+
+TEST_P(DmaRoundTrip, Bf16RoundsThroughBfloat)
+{
+    int sparsity_pct = GetParam();
+    Rng rng(200 + sparsity_pct);
+    std::vector<float> data(512);
+    for (auto &v : data)
+        v = rng.bernoulli(sparsity_pct / 100.0f)
+            ? 0.0f : (float)rng.uniformInt(-64, 64);
+    auto stream = CompressingDma::compress(data, 2);
+    auto back = CompressingDma::decompress(stream, data.size(), 2);
+    // Small integers are exactly representable in bfloat16.
+    for (size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(back[i], data[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, DmaRoundTrip,
+                         ::testing::Values(0, 25, 50, 75, 95, 100));
+
+TEST(Dma, CompressionRatioTracksSparsity)
+{
+    // 90% sparse: ~16 blocks of (2B mask + 1.6 values x 4B) per 256
+    // dense bytes -> roughly 4x compression.
+    uint64_t dense = CompressingDma::denseBytes(16000, 4);
+    uint64_t compressed = CompressingDma::compressedBytes(1600, 16000, 4);
+    double ratio = (double)dense / (double)compressed;
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Dma, DenseDataCostsMaskOverheadOnly)
+{
+    uint64_t dense = CompressingDma::denseBytes(1600, 4);
+    uint64_t compressed = CompressingDma::compressedBytes(1600, 1600, 4);
+    EXPECT_EQ(compressed, dense + 100 * 2); // 100 blocks x 2B mask
+}
+
+TEST(Dma, CompressesTensors)
+{
+    Rng rng(7);
+    Tensor t(1, 16, 8, 8);
+    t.fill(1.0f);
+    t.dropout(rng, 0.5f);
+    uint64_t bytes = CompressingDma::compressedBytes(t, 4);
+    EXPECT_EQ(bytes, CompressingDma::compressedBytes(t.nonzeros(),
+                                                     t.size(), 4));
+}
+
+TEST(Dma, TruncatedStreamPanics)
+{
+    setLogThrowMode(true);
+    std::vector<float> data(16, 1.0f);
+    auto stream = CompressingDma::compress(data, 4);
+    stream.pop_back();
+    EXPECT_THROW(CompressingDma::decompress(stream, 16, 4), SimError);
+    setLogThrowMode(false);
+}
+
+TEST(Dram, BandwidthMatchesTable2)
+{
+    // 4-channel LPDDR4-3200 x16: 4 x 3200 MT/s x 2B = 25.6 GB/s.
+    DramModel dram;
+    EXPECT_NEAR(dram.bandwidthBytesPerSec(), 25.6e9, 1e6);
+    // At 500 MHz: 51.2 bytes per accelerator cycle.
+    EXPECT_NEAR(dram.bytesPerCycle(0.5), 51.2, 1e-9);
+    EXPECT_NEAR(dram.transferCycles(5120.0, 0.5), 100.0, 1e-9);
+}
+
+TEST(Dram, EnergyAccounting)
+{
+    DramModel dram;
+    dram.read(1000);
+    dram.write(500);
+    EXPECT_EQ(dram.readBytes(), 1000u);
+    EXPECT_EQ(dram.writeBytes(), 500u);
+    double expect = (1000 * dram.config().pj_per_byte_read +
+                     500 * dram.config().pj_per_byte_write) * 1e-12;
+    EXPECT_NEAR(dram.energyJoules(), expect, 1e-18);
+    dram.resetStats();
+    EXPECT_EQ(dram.readBytes(), 0u);
+}
+
+} // namespace
+} // namespace tensordash

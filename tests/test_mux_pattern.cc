@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the sparse interconnect pattern (paper Fig. 9) and the
+ * scheduler level derivation (Fig. 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/mux_pattern.hh"
+
+namespace tensordash {
+namespace {
+
+TEST(MuxPattern, PaperPatternHas8OptionsAt16Lanes)
+{
+    MuxPattern p(16, 3);
+    EXPECT_EQ(p.numOptions(), 8);
+    for (int lane = 0; lane < 16; ++lane)
+        EXPECT_EQ(p.options(lane).size(), 8u);
+}
+
+TEST(MuxPattern, TwoDeepPatternHas5Options)
+{
+    // Paper section 4.4: 2-deep staging => 5 movements per multiplier.
+    MuxPattern p(16, 2);
+    EXPECT_EQ(p.numOptions(), 5);
+}
+
+TEST(MuxPattern, Lane8MatchesFigure9)
+{
+    // Fig. 9 shows lane 8's reachable set: its own lane at steps 0..2,
+    // lanes 7 and 9 one step ahead, lanes 6 and 10 two steps ahead, and
+    // lane 5 one step ahead.
+    MuxPattern p(16, 3);
+    std::set<std::pair<int, int>> expect = {
+        {0, 8}, {1, 8}, {2, 8}, {1, 7}, {1, 9}, {2, 6}, {2, 10}, {1, 5},
+    };
+    std::set<std::pair<int, int>> got;
+    for (const auto &o : p.options(8))
+        got.insert({o.step, o.lane});
+    EXPECT_EQ(got, expect);
+}
+
+TEST(MuxPattern, PriorityOrderMatchesPaper)
+{
+    MuxPattern p(16, 3);
+    const auto &opts = p.options(8);
+    // (+0,i) (+1,i) (+2,i) (+1,i-1) (+1,i+1) (+2,i-2) (+2,i+2) (+1,i-3)
+    EXPECT_EQ(opts[0].step, 0); EXPECT_EQ(opts[0].lane, 8);
+    EXPECT_EQ(opts[1].step, 1); EXPECT_EQ(opts[1].lane, 8);
+    EXPECT_EQ(opts[2].step, 2); EXPECT_EQ(opts[2].lane, 8);
+    EXPECT_EQ(opts[3].step, 1); EXPECT_EQ(opts[3].lane, 7);
+    EXPECT_EQ(opts[4].step, 1); EXPECT_EQ(opts[4].lane, 9);
+    EXPECT_EQ(opts[5].step, 2); EXPECT_EQ(opts[5].lane, 6);
+    EXPECT_EQ(opts[6].step, 2); EXPECT_EQ(opts[6].lane, 10);
+    EXPECT_EQ(opts[7].step, 1); EXPECT_EQ(opts[7].lane, 5);
+}
+
+TEST(MuxPattern, LaneOffsetsWrapAroundTheRing)
+{
+    MuxPattern p(16, 3);
+    // Lane 0's (+1, i-3) option wraps to lane 13.
+    bool found = false;
+    for (const auto &o : p.options(0))
+        found |= o.step == 1 && o.lane == 13;
+    EXPECT_TRUE(found);
+    // Lane 15's (+1, i+1) option wraps to lane 0.
+    found = false;
+    for (const auto &o : p.options(15))
+        found |= o.step == 1 && o.lane == 0;
+    EXPECT_TRUE(found);
+}
+
+TEST(MuxPattern, LevelsMatchFigure10)
+{
+    // 16 lanes: {0,5,10} {1,6,11} {2,7,12} {3,8,13} {4,9,14} {15}.
+    MuxPattern p(16, 3);
+    const auto &levels = p.levels();
+    ASSERT_EQ(levels.size(), 6u);
+    EXPECT_EQ(levels[0], (std::vector<int>{0, 5, 10}));
+    EXPECT_EQ(levels[1], (std::vector<int>{1, 6, 11}));
+    EXPECT_EQ(levels[2], (std::vector<int>{2, 7, 12}));
+    EXPECT_EQ(levels[3], (std::vector<int>{3, 8, 13}));
+    EXPECT_EQ(levels[4], (std::vector<int>{4, 9, 14}));
+    EXPECT_EQ(levels[5], (std::vector<int>{15}));
+}
+
+/** Structural property: lanes within one level never overlap. */
+class MuxPatternLevels : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MuxPatternLevels, LevelsAreDisjointByConstruction)
+{
+    int lanes = GetParam();
+    for (int depth : {2, 3}) {
+        MuxPattern p(lanes, depth);
+        for (const auto &level : p.levels()) {
+            for (size_t i = 0; i < level.size(); ++i)
+                for (size_t j = i + 1; j < level.size(); ++j)
+                    EXPECT_FALSE(p.overlaps(level[i], level[j]))
+                        << "lanes " << level[i] << " and " << level[j]
+                        << " overlap at " << lanes << " lanes";
+        }
+    }
+}
+
+TEST_P(MuxPatternLevels, EveryLaneAppearsInExactlyOneLevel)
+{
+    int lanes = GetParam();
+    MuxPattern p(lanes, 3);
+    std::set<int> seen;
+    for (const auto &level : p.levels())
+        for (int lane : level)
+            EXPECT_TRUE(seen.insert(lane).second);
+    EXPECT_EQ((int)seen.size(), lanes);
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, MuxPatternLevels,
+                         ::testing::Values(4, 8, 12, 16, 24, 32));
+
+TEST(MuxPattern, Step0ReachableOnlyByOwnLane)
+{
+    // This property guarantees forward progress: nobody can steal a
+    // lane's dense position, so pending step-0 bits always clear.
+    MuxPattern p(16, 3);
+    for (int lane = 0; lane < 16; ++lane) {
+        for (const auto &o : p.options(lane)) {
+            if (o.step == 0) {
+                EXPECT_EQ(o.lane, lane);
+            }
+        }
+    }
+}
+
+TEST(MuxPattern, DenseOnlyHasSingleOption)
+{
+    MuxPattern p(16, 3, InterconnectKind::DenseOnly);
+    EXPECT_EQ(p.numOptions(), 1);
+    EXPECT_EQ(p.options(5)[0].step, 0);
+    EXPECT_EQ(p.options(5)[0].lane, 5);
+}
+
+TEST(MuxPattern, LookaheadOnlyStaysInLane)
+{
+    MuxPattern p(16, 3, InterconnectKind::LookaheadOnly);
+    EXPECT_EQ(p.numOptions(), 3);
+    for (int lane = 0; lane < 16; ++lane)
+        for (const auto &o : p.options(lane))
+            EXPECT_EQ(o.lane, lane);
+}
+
+TEST(MuxPattern, CrossbarReachesEverything)
+{
+    MuxPattern p(8, 3, InterconnectKind::Crossbar);
+    for (int lane = 0; lane < 8; ++lane) {
+        std::set<std::pair<int, int>> got;
+        for (const auto &o : p.options(lane))
+            got.insert({o.step, o.lane});
+        EXPECT_EQ(got.size(), 24u) << "lane " << lane;
+    }
+}
+
+TEST(MuxPattern, SmallRingsDeduplicateAliasedOptions)
+{
+    // With 4 lanes, offsets -3 and +1 alias; the pattern must keep only
+    // the higher-priority occurrence of each position.
+    MuxPattern p(4, 3);
+    for (int lane = 0; lane < 4; ++lane) {
+        std::set<std::pair<int, int>> seen;
+        for (const auto &o : p.options(lane))
+            EXPECT_TRUE(seen.insert({o.step, o.lane}).second)
+                << "duplicate option for lane " << lane;
+    }
+}
+
+TEST(MuxPattern, DeepBuffersExtendLookahead)
+{
+    MuxPattern p(16, 4);
+    bool has_step3 = false;
+    for (const auto &o : p.options(0))
+        has_step3 |= o.step == 3;
+    EXPECT_TRUE(has_step3);
+}
+
+TEST(MuxPattern, StrDescribesConfiguration)
+{
+    MuxPattern p(16, 3);
+    std::string s = p.str();
+    EXPECT_NE(s.find("16 lanes"), std::string::npos);
+    EXPECT_NE(s.find("depth 3"), std::string::npos);
+    EXPECT_NE(s.find("6 scheduler levels"), std::string::npos);
+}
+
+} // namespace
+} // namespace tensordash

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Tests for the NN training framework: per-layer numerical gradient
+ * checks, end-to-end training convergence, pruning-during-training
+ * invariants, and the trace-driven accelerator path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nn/data.hh"
+#include "nn/network.hh"
+#include "nn/pruning.hh"
+#include "nn/trace.hh"
+
+namespace tensordash {
+namespace {
+
+/**
+ * Central-difference gradient check for one layer: compares the
+ * analytic input gradients of sum(forward(x)) to numeric ones at a few
+ * sampled positions.
+ */
+void
+checkInputGradients(Layer &layer, Tensor input, float tol = 2e-2f)
+{
+    Rng rng(4242);
+    Tensor out = layer.forward(input);
+    Tensor go(out.shape());
+    go.fill(1.0f);
+    Tensor analytic = layer.backward(go);
+
+    const float eps = 1e-2f;
+    for (int trial = 0; trial < 8; ++trial) {
+        size_t pos = (size_t)rng.uniformInt(0, (int)input.size() - 1);
+        float saved = input[pos];
+        auto lossAt = [&](float v) {
+            input[pos] = v;
+            Tensor o = layer.forward(input);
+            double sum = 0.0;
+            for (size_t i = 0; i < o.size(); ++i)
+                sum += o[i];
+            return sum;
+        };
+        double hi = lossAt(saved + eps);
+        double lo = lossAt(saved - eps);
+        input[pos] = saved;
+        double numeric = (hi - lo) / (2.0 * eps);
+        EXPECT_NEAR(analytic[pos], numeric, tol) << "position " << pos;
+    }
+    // Restore caches for potential later use.
+    layer.forward(input);
+}
+
+TEST(NnLayers, ConvGradientCheck)
+{
+    Rng rng(1);
+    Conv2dLayer conv("c", 3, 4, 3, ConvSpec{1, 1}, rng);
+    Tensor x(2, 3, 6, 6);
+    x.fillNormal(rng);
+    checkInputGradients(conv, x);
+}
+
+TEST(NnLayers, ConvStride2GradientCheck)
+{
+    Rng rng(2);
+    Conv2dLayer conv("c", 2, 3, 3, ConvSpec{2, 1}, rng);
+    Tensor x(1, 2, 8, 8);
+    x.fillNormal(rng);
+    checkInputGradients(conv, x);
+}
+
+TEST(NnLayers, LinearGradientCheck)
+{
+    Rng rng(3);
+    LinearLayer lin("l", 10, 6, rng);
+    Tensor x(3, 10, 1, 1);
+    x.fillNormal(rng);
+    checkInputGradients(lin, x);
+}
+
+TEST(NnLayers, ReluGradientAndSparsity)
+{
+    Rng rng(4);
+    ReluLayer relu;
+    Tensor x(1, 4, 8, 8);
+    x.fillNormal(rng);
+    Tensor out = relu.forward(x);
+    // Roughly half the normal samples are negative.
+    EXPECT_NEAR(out.sparsity(), 0.5, 0.1);
+    Tensor go(out.shape());
+    go.fill(1.0f);
+    Tensor gi = relu.backward(go);
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(gi[i], x[i] > 0.0f ? 1.0f : 0.0f);
+}
+
+TEST(NnLayers, MaxPoolForwardAndRouting)
+{
+    MaxPool2x2Layer pool;
+    Tensor x(1, 1, 2, 2);
+    x.at(0, 0, 0, 0) = 1.0f;
+    x.at(0, 0, 0, 1) = 5.0f;
+    x.at(0, 0, 1, 0) = 2.0f;
+    x.at(0, 0, 1, 1) = 3.0f;
+    Tensor out = pool.forward(x);
+    EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 1}));
+    EXPECT_EQ(out[0], 5.0f);
+    Tensor go(out.shape());
+    go[0] = 7.0f;
+    Tensor gi = pool.backward(go);
+    EXPECT_EQ(gi.at(0, 0, 0, 1), 7.0f);
+    EXPECT_EQ(gi.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(NnLayers, BatchNormNormalises)
+{
+    Rng rng(5);
+    BatchNorm2dLayer bn("bn", 3);
+    Tensor x(4, 3, 5, 5);
+    x.fillNormal(rng, 3.0f, 2.0f);
+    Tensor out = bn.forward(x);
+    // Per-channel mean ~0, variance ~1 after normalisation.
+    for (int c = 0; c < 3; ++c) {
+        double sum = 0.0, sq = 0.0;
+        int count = 4 * 5 * 5;
+        for (int n = 0; n < 4; ++n)
+            for (int y = 0; y < 5; ++y)
+                for (int xx = 0; xx < 5; ++xx) {
+                    float v = out.at(n, c, y, xx);
+                    sum += v;
+                    sq += (double)v * v;
+                }
+        EXPECT_NEAR(sum / count, 0.0, 1e-3);
+        EXPECT_NEAR(sq / count, 1.0, 1e-2);
+    }
+}
+
+TEST(NnLayers, BatchNormGradientCheck)
+{
+    Rng rng(6);
+    BatchNorm2dLayer bn("bn", 2);
+    Tensor x(2, 2, 4, 4);
+    x.fillNormal(rng, 1.0f, 1.5f);
+    // sum(output) is invariant to input shifts within a channel, so
+    // gradients are near zero -- exercise with a weighted sum instead.
+    Tensor out = bn.forward(x);
+    Rng wrng(7);
+    Tensor go(out.shape());
+    go.fillNormal(wrng);
+    Tensor analytic = bn.backward(go);
+    const float eps = 1e-2f;
+    for (int trial = 0; trial < 6; ++trial) {
+        size_t pos = (size_t)wrng.uniformInt(0, (int)x.size() - 1);
+        float saved = x[pos];
+        auto lossAt = [&](float v) {
+            x[pos] = v;
+            Tensor o = bn.forward(x);
+            double sum = 0.0;
+            for (size_t i = 0; i < o.size(); ++i)
+                sum += (double)o[i] * go[i];
+            return sum;
+        };
+        double hi = lossAt(saved + eps);
+        double lo = lossAt(saved - eps);
+        x[pos] = saved;
+        EXPECT_NEAR(analytic[pos], (hi - lo) / (2.0 * eps), 5e-2);
+    }
+}
+
+TEST(NnLayers, FlattenRoundTrip)
+{
+    Rng rng(8);
+    FlattenLayer flat;
+    Tensor x(2, 3, 4, 4);
+    x.fillNormal(rng);
+    Tensor out = flat.forward(x);
+    EXPECT_EQ(out.shape(), (Shape{2, 48, 1, 1}));
+    Tensor back = flat.backward(out);
+    EXPECT_EQ(back.maxAbsDiff(x), 0.0f);
+}
+
+TEST(NnLoss, KnownValues)
+{
+    Tensor logits(1, 2, 1, 1);
+    logits.at(0, 0, 0, 0) = 0.0f;
+    logits.at(0, 1, 0, 0) = 0.0f;
+    LossResult r = softmaxCrossEntropy(logits, {0});
+    EXPECT_NEAR(r.loss, std::log(2.0), 1e-6);
+    EXPECT_NEAR(r.logit_grads.at(0, 0, 0, 0), -0.5, 1e-6);
+    EXPECT_NEAR(r.logit_grads.at(0, 1, 0, 0), 0.5, 1e-6);
+}
+
+TEST(NnLoss, GradientSumsToZero)
+{
+    Rng rng(9);
+    Tensor logits(4, 5, 1, 1);
+    logits.fillNormal(rng);
+    LossResult r = softmaxCrossEntropy(logits, {0, 1, 2, 3});
+    for (int n = 0; n < 4; ++n) {
+        double sum = 0.0;
+        for (int c = 0; c < 5; ++c)
+            sum += r.logit_grads.at(n, c, 0, 0);
+        EXPECT_NEAR(sum, 0.0, 1e-6);
+    }
+}
+
+TEST(NnOptimizer, MomentumAccumulates)
+{
+    Sgd opt(0.1f, 0.9f);
+    Tensor p(1, 1, 1, 1), g(1, 1, 1, 1);
+    p[0] = 1.0f;
+    g[0] = 1.0f;
+    opt.step(p, g);
+    EXPECT_NEAR(p[0], 0.9f, 1e-6);   // v = 1, p -= 0.1
+    opt.step(p, g);
+    EXPECT_NEAR(p[0], 0.71f, 1e-6);  // v = 1.9, p -= 0.19
+    ASSERT_NE(opt.velocity(p), nullptr);
+    EXPECT_NEAR((*opt.velocity(p))[0], 1.9f, 1e-6);
+}
+
+Network
+makeSmallCnn(Rng &rng, int classes)
+{
+    Network net;
+    net.emplace<Conv2dLayer>("conv1", 1, 8, 3, ConvSpec{1, 1}, rng);
+    net.emplace<ReluLayer>("relu1");
+    net.emplace<MaxPool2x2Layer>("pool1");
+    net.emplace<Conv2dLayer>("conv2", 8, 16, 3, ConvSpec{1, 1}, rng);
+    net.emplace<ReluLayer>("relu2");
+    net.emplace<MaxPool2x2Layer>("pool2");
+    net.emplace<FlattenLayer>("flatten");
+    net.emplace<LinearLayer>("fc", 16 * 4 * 4, classes, rng);
+    return net;
+}
+
+TEST(NnTraining, LossDecreasesAndLearns)
+{
+    Rng rng(10);
+    PatternDataset data(4, 16, 0.25f, 11);
+    Network net = makeSmallCnn(rng, 4);
+    Sgd opt(0.05f);
+
+    double first_loss = 0.0, last_loss = 0.0, last_acc = 0.0;
+    for (int step = 0; step < 60; ++step) {
+        Batch batch = data.sample(16);
+        LossResult r = net.trainStep(batch.images, batch.labels, opt);
+        if (step == 0)
+            first_loss = r.loss;
+        last_loss = r.loss;
+        last_acc = r.accuracy;
+    }
+    EXPECT_LT(last_loss, 0.6 * first_loss);
+    EXPECT_GT(last_acc, 0.7);
+}
+
+TEST(NnTraining, TraceHookSeesAllWeightedLayers)
+{
+    Rng rng(12);
+    PatternDataset data(3, 16, 0.3f, 13);
+    Network net = makeSmallCnn(rng, 3);
+    Sgd opt(0.05f);
+    Batch batch = data.sample(4);
+    std::vector<LayerTrace> captured;
+    net.trainStep(batch.images, batch.labels, opt,
+                  [&](const std::vector<LayerTrace> &t) { captured = t; });
+    ASSERT_EQ(captured.size(), 3u); // conv1, conv2, fc
+    EXPECT_EQ(captured[0].layer, "conv1");
+    EXPECT_FALSE(captured[0].fc);
+    EXPECT_TRUE(captured[2].fc);
+    // conv2's input passed through a ReLU: must carry sparsity.
+    EXPECT_GT(captured[1].acts.sparsity(), 0.2);
+    // Gradients of conv2 output flow through relu2's mask.
+    EXPECT_GT(captured[1].grads.sparsity(), 0.2);
+}
+
+TEST(NnPruning, MaintainsTargetSparsity)
+{
+    Rng rng(14);
+    PatternDataset data(3, 16, 0.3f, 15);
+    Network net = makeSmallCnn(rng, 3);
+    Sgd opt(0.05f);
+    SparseMomentumPruner pruner(0.8);
+    pruner.initialize(net, rng);
+    EXPECT_NEAR(pruner.measuredSparsity(net), 0.8, 0.05);
+
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        for (int step = 0; step < 10; ++step) {
+            Batch batch = data.sample(8);
+            net.trainStep(batch.images, batch.labels, opt);
+            pruner.applyMasks(net);
+        }
+        pruner.epochUpdate(net, opt, rng);
+        pruner.applyMasks(net);
+        EXPECT_NEAR(pruner.measuredSparsity(net), 0.8, 0.06)
+            << "epoch " << epoch;
+    }
+}
+
+TEST(NnPruning, DynamicSparseReparamMaintainsSparsity)
+{
+    Rng rng(16);
+    PatternDataset data(3, 16, 0.3f, 17);
+    Network net = makeSmallCnn(rng, 3);
+    Sgd opt(0.05f);
+    DynamicSparseReparam pruner(0.7);
+    pruner.initialize(net, rng);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        for (int step = 0; step < 8; ++step) {
+            Batch batch = data.sample(8);
+            net.trainStep(batch.images, batch.labels, opt);
+            pruner.applyMasks(net);
+        }
+        pruner.epochUpdate(net, opt, rng);
+        pruner.applyMasks(net);
+        EXPECT_NEAR(pruner.measuredSparsity(net), 0.7, 0.06);
+    }
+}
+
+TEST(NnPruning, PrunedTrainingStillLearns)
+{
+    Rng rng(18);
+    PatternDataset data(3, 16, 0.25f, 19);
+    Network net = makeSmallCnn(rng, 3);
+    Sgd opt(0.05f);
+    SparseMomentumPruner pruner(0.6);
+    pruner.initialize(net, rng);
+    double acc = 0.0;
+    for (int step = 0; step < 80; ++step) {
+        Batch batch = data.sample(16);
+        LossResult r = net.trainStep(batch.images, batch.labels, opt);
+        pruner.applyMasks(net);
+        if (step % 20 == 19)
+            pruner.epochUpdate(net, opt, rng);
+        acc = r.accuracy;
+    }
+    EXPECT_GT(acc, 0.6);
+}
+
+TEST(NnTrace, RealTrainingSpeedsUpTheAccelerator)
+{
+    // End-to-end: genuine ReLU sparsity from a real training step must
+    // produce a measurable TensorDash speedup.
+    Rng rng(20);
+    PatternDataset data(4, 16, 0.25f, 21);
+    Network net = makeSmallCnn(rng, 4);
+    Sgd opt(0.05f);
+
+    AcceleratorConfig cfg;
+    cfg.tiles = 2;
+    cfg.max_sampled_macs = 100000;
+    TraceEvaluator eval(cfg);
+
+    // Warm up a little so activations are informative.
+    for (int step = 0; step < 10; ++step) {
+        Batch batch = data.sample(8);
+        net.trainStep(batch.images, batch.labels, opt);
+    }
+    Batch batch = data.sample(8);
+    TraceStepResult result;
+    net.trainStep(batch.images, batch.labels, opt,
+                  [&](const std::vector<LayerTrace> &t) {
+                      result = eval.evaluate(t);
+                  });
+    EXPECT_GT(result.act_sparsity, 0.2);
+    EXPECT_GT(result.speedup, 1.1);
+    EXPECT_LE(result.speedup, 3.0);
+}
+
+} // namespace
+} // namespace tensordash

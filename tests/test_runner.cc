@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Integration tests for the model-level runner: the paper's headline
+ * behaviours must hold on the full workload suite (scaled-down
+ * sampling for test speed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tensordash.hh"
+
+namespace tensordash {
+namespace {
+
+RunConfig
+fastConfig()
+{
+    RunConfig cfg;
+    cfg.accel.tiles = 4;
+    cfg.accel.max_sampled_macs = 120000;
+    return cfg;
+}
+
+TEST(Runner, EveryModelSpeedsUpAndRespectsTheCap)
+{
+    ModelRunner runner(fastConfig());
+    for (const auto &m : ModelZoo::paperModels()) {
+        ModelRunResult r = runner.run(m);
+        EXPECT_GE(r.speedup(), 1.0) << m.name;
+        EXPECT_LE(r.speedup(), 3.0) << m.name;
+        for (int op = 0; op < 3; ++op) {
+            EXPECT_GE(r.opSpeedup((TrainOp)op), 1.0 - 1e-9) << m.name;
+            EXPECT_LE(r.opSpeedup((TrainOp)op), 3.0 + 1e-9) << m.name;
+        }
+    }
+}
+
+TEST(Runner, HeadlineOrderingMatchesPaper)
+{
+    ModelRunner runner(fastConfig());
+    auto densenet = runner.runByName("DenseNet121");
+    auto alexnet = runner.runByName("AlexNet");
+    auto ds90 = runner.runByName("resnet50_DS90");
+    auto sm90 = runner.runByName("resnet50_SM90");
+
+    // DenseNet121 is the slowest model; its WxG speedup is negligible.
+    EXPECT_LT(densenet.speedup(), alexnet.speedup());
+    EXPECT_LT(densenet.opSpeedup(TrainOp::BackwardWeights), 1.1);
+    // Dynamic sparse reparameterization beats sparse momentum
+    // (section 4.2: ~1.8x vs ~1.5x).
+    EXPECT_GT(ds90.speedup(), sm90.speedup());
+}
+
+TEST(Runner, AverageSpeedupNearPaperHeadline)
+{
+    // Paper: 1.95x average speedup, 1.89x core and 1.6x overall energy
+    // efficiency.  The reproduction must land in the neighbourhood.
+    ModelRunner runner(fastConfig());
+    std::vector<double> speedups, core_effs, overall_effs;
+    for (const auto &m : ModelZoo::paperModels()) {
+        ModelRunResult r = runner.run(m);
+        speedups.push_back(r.speedup());
+        core_effs.push_back(r.coreEfficiency());
+        overall_effs.push_back(r.overallEfficiency());
+    }
+    double mean_speedup = 0.0, mean_core = 0.0, mean_overall = 0.0;
+    for (size_t i = 0; i < speedups.size(); ++i) {
+        mean_speedup += speedups[i];
+        mean_core += core_effs[i];
+        mean_overall += overall_effs[i];
+    }
+    mean_speedup /= speedups.size();
+    mean_core /= speedups.size();
+    mean_overall /= speedups.size();
+    EXPECT_NEAR(mean_speedup, 1.95, 0.25);
+    EXPECT_NEAR(mean_core, 1.89, 0.25);
+    EXPECT_NEAR(mean_overall, 1.6, 0.25);
+    // Core efficiency tracks speedup through the 2% power overhead.
+    EXPECT_LT(mean_core, mean_speedup);
+    // Overall is diluted by memory energy.
+    EXPECT_LT(mean_overall, mean_core);
+}
+
+TEST(Runner, SpeedupStableAcrossTrainingForDenseModels)
+{
+    // Fig. 14: after the first few epochs the speedup varies modestly.
+    RunConfig cfg = fastConfig();
+    std::vector<double> speedups;
+    for (double progress : {0.2, 0.5, 0.8}) {
+        cfg.progress = progress;
+        ModelRunner runner(cfg);
+        speedups.push_back(runner.runByName("AlexNet").speedup());
+    }
+    for (double s : speedups)
+        EXPECT_NEAR(s, speedups[0], 0.35);
+}
+
+TEST(Runner, PrunedModelsStartFasterThanTheySettle)
+{
+    RunConfig start_cfg = fastConfig();
+    start_cfg.progress = 0.0;
+    RunConfig settle_cfg = fastConfig();
+    settle_cfg.progress = 0.5;
+    ModelRunner start(start_cfg), settle(settle_cfg);
+    double s0 = start.runByName("resnet50_DS90").speedup();
+    double s5 = settle.runByName("resnet50_DS90").speedup();
+    EXPECT_GT(s0, s5);
+}
+
+TEST(Runner, GcnBarelyMovesWithoutPowerGating)
+{
+    // Section 4.4: ~1% speedup, <1% energy-efficiency loss.
+    ModelRunner runner(fastConfig());
+    ModelRunResult r = runner.run(ModelZoo::gcn());
+    EXPECT_GE(r.speedup(), 1.0);
+    EXPECT_LT(r.speedup(), 1.08);
+    EXPECT_GT(r.overallEfficiency(), 0.97);
+    EXPECT_LT(r.overallEfficiency(), 1.05);
+}
+
+TEST(Runner, GcnWithPowerGatingLosesNothing)
+{
+    RunConfig cfg = fastConfig();
+    cfg.accel.power_gating = true;
+    ModelRunner runner(cfg);
+    ModelRunResult r = runner.run(ModelZoo::gcn());
+    // Gated layers burn baseline power, so efficiency >= 1.
+    EXPECT_GE(r.overallEfficiency(), 1.0 - 1e-9);
+}
+
+TEST(Runner, Bf16ConfigurationRuns)
+{
+    RunConfig cfg = fastConfig();
+    cfg.accel.dtype = DataType::Bf16;
+    ModelRunner runner(cfg);
+    ModelRunResult r = runner.runByName("SqueezeNet");
+    EXPECT_GT(r.speedup(), 1.2);
+    // bf16 core efficiency sits slightly below fp32's (1.84 vs 1.89
+    // at the paper's averages) because the relative power overhead is
+    // larger.
+    RunConfig fp32_cfg = fastConfig();
+    ModelRunner fp32(fp32_cfg);
+    ModelRunResult rf = fp32.runByName("SqueezeNet");
+    EXPECT_LT(r.coreEfficiency(), rf.coreEfficiency());
+}
+
+TEST(Runner, FewerRowsImproveSpeedup)
+{
+    // Fig. 17 trend on one clustered model.
+    RunConfig one = fastConfig();
+    one.accel.tile.rows = 1;
+    RunConfig eight = fastConfig();
+    eight.accel.tile.rows = 8;
+    double s1 = ModelRunner(one).runByName("resnet50_SM90").speedup();
+    double s8 = ModelRunner(eight).runByName("resnet50_SM90").speedup();
+    EXPECT_GT(s1, s8);
+}
+
+TEST(Runner, TwoDeepStagingIsSlowerButStillWins)
+{
+    // Fig. 19 trend.
+    RunConfig deep = fastConfig();
+    RunConfig shallow = fastConfig();
+    shallow.accel.tile.depth = 2;
+    double s3 = ModelRunner(deep).runByName("img2txt").speedup();
+    double s2 = ModelRunner(shallow).runByName("img2txt").speedup();
+    EXPECT_GT(s3, s2);
+    EXPECT_GT(s2, 1.2);
+}
+
+} // namespace
+} // namespace tensordash
