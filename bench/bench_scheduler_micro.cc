@@ -6,6 +6,10 @@
  * bounds how much layer volume the benches can sample.
  */
 
+#include "bench_util.hh"
+
+#if TENSORDASH_HAVE_BENCHMARK
+
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hh"
@@ -89,3 +93,13 @@ BENCHMARK(BM_PeRun)->Arg(0)->Arg(50)->Arg(90);
 } // namespace
 
 BENCHMARK_MAIN();
+
+#else // !TENSORDASH_HAVE_BENCHMARK
+
+int
+main()
+{
+    return tensordash::bench::benchmarkUnavailable("bench_scheduler_micro");
+}
+
+#endif // TENSORDASH_HAVE_BENCHMARK

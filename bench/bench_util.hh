@@ -17,6 +17,16 @@
 
 #include "core/tensordash.hh"
 
+/*
+ * google-benchmark is optional.  The build system defines
+ * TENSORDASH_HAVE_BENCHMARK when find_package(benchmark) succeeds;
+ * microbenchmarks guard their timed bodies on it and fall back to
+ * bench::benchmarkUnavailable() so they always compile and link.
+ */
+#if !defined(TENSORDASH_HAVE_BENCHMARK)
+#define TENSORDASH_HAVE_BENCHMARK 0
+#endif
+
 namespace tensordash {
 namespace bench {
 
@@ -58,6 +68,16 @@ inline void
 reference(const char *text)
 {
     std::printf("paper reference: %s\n", text);
+}
+
+/** Stub body for microbenchmarks when google-benchmark is absent. */
+inline int
+benchmarkUnavailable(const char *binary)
+{
+    std::printf("%s: built without google-benchmark; nothing to run.\n"
+                "Install google-benchmark and reconfigure to enable "
+                "this microbenchmark.\n", binary);
+    return 0;
 }
 
 } // namespace bench

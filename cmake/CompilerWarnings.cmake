@@ -1,0 +1,20 @@
+# Warning flags shared by every target in the repo.
+#
+# The source tree is warning-clean under -Wall -Wextra; those are always
+# on so regressions are visible.  -Werror is opt-in (TENSORDASH_WERROR)
+# so that a new compiler's novel warnings never break a plain build --
+# CI builds a second job with the -Werror config to lock cleanliness in.
+
+function(tensordash_set_warnings target)
+    if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+        target_compile_options(${target} PRIVATE -Wall -Wextra)
+        if(TENSORDASH_WERROR)
+            target_compile_options(${target} PRIVATE -Werror)
+        endif()
+    elseif(MSVC)
+        target_compile_options(${target} PRIVATE /W4)
+        if(TENSORDASH_WERROR)
+            target_compile_options(${target} PRIVATE /WX)
+        endif()
+    endif()
+endfunction()

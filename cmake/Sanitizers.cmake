@@ -1,0 +1,16 @@
+# Opt-in ASan/UBSan configuration (TENSORDASH_SANITIZE=ON).
+#
+# Applied globally rather than per-target: sanitizer runtimes must be
+# consistent across the static library and every binary linking it.
+
+if(TENSORDASH_SANITIZE)
+    if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+        set(_td_san_flags -fsanitize=address,undefined -fno-omit-frame-pointer)
+        add_compile_options(${_td_san_flags})
+        add_link_options(${_td_san_flags})
+    else()
+        message(WARNING
+            "TENSORDASH_SANITIZE is only supported with GCC/Clang; "
+            "ignoring for ${CMAKE_CXX_COMPILER_ID}.")
+    endif()
+endif()

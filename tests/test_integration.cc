@@ -75,10 +75,7 @@ TEST_P(TrainingStepFunctional, AllThreeOpsMatchReference)
 {
     auto [stride, pad, seed] = GetParam();
     Rng rng((uint64_t)seed);
-    // h = 9 tiles exactly for every (stride, pad) combination below.
     int h = 9, c = 5, f = 6, k = 3, n = 2;
-    if ((h + 2 * pad - k) < 0 || (h + 2 * pad - k) % stride)
-        GTEST_SKIP() << "geometry does not tile";
     ConvSpec spec{stride, pad};
 
     Tensor acts(n, c, h, h);
