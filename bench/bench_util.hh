@@ -11,6 +11,7 @@
  * with reduced sampling (quick smoke of the whole harness).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -52,6 +53,138 @@ defaultRunConfig()
     RunConfig cfg;
     cfg.accel.max_sampled_macs = sampleBudget(600000, 120000);
     return cfg;
+}
+
+/**
+ * Shared command line of the figure benches.  Every fig binary accepts
+ * the same three options so sweeps can be scripted uniformly:
+ *
+ *   --threads N  simulation parallelism (default: TD_THREADS or all
+ *                cores; the shared ThreadPool serves every figure)
+ *   --reps N     repeat the figure N times and report wall-clock per
+ *                repetition (for scaling measurements)
+ *   --csv PATH   also write the figure's table as CSV to PATH
+ */
+struct Options
+{
+    int threads = 0;
+    int reps = 1;
+    std::string csv;
+};
+
+inline void
+usage(const char *binary, FILE *out = stdout)
+{
+    std::fprintf(
+        out,
+        "usage: %s [--threads N] [--reps N] [--csv PATH]\n"
+        "  --threads N  worker threads (default: TD_THREADS or all "
+        "cores)\n"
+        "  --reps N     repeat the figure N times, timing each rep\n"
+        "  --csv PATH   also write the figure's table as CSV to PATH\n",
+        binary);
+}
+
+/** Parse the shared CLI; exits on --help, bad values or unknown
+ * options. */
+inline Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                         argv[i]);
+            usage(argv[0], stderr);
+            std::exit(1);
+        }
+        return argv[++i];
+    };
+    auto intValue = [&](int &i, long min) -> int {
+        const char *flag = argv[i];
+        const char *text = value(i);
+        char *end = nullptr;
+        long v = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0' || v < min || v > 4096) {
+            std::fprintf(stderr,
+                         "%s: bad value '%s' for %s (want an integer "
+                         "in [%ld, 4096])\n",
+                         argv[0], text, flag, min);
+            std::exit(1);
+        }
+        return (int)v;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else if (arg == "--threads") {
+            opts.threads = intValue(i, 0); // 0 = TD_THREADS/auto
+        } else if (arg == "--reps") {
+            opts.reps = intValue(i, 1);
+        } else if (arg == "--csv") {
+            opts.csv = value(i);
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], stderr);
+            std::exit(1);
+        }
+    }
+    return opts;
+}
+
+/** Run configuration honouring the shared CLI's thread count. */
+inline RunConfig
+defaultRunConfig(const Options &opts)
+{
+    RunConfig cfg = defaultRunConfig();
+    cfg.threads = opts.threads;
+    return cfg;
+}
+
+/** Print a table and, when requested, write it as CSV. */
+inline void
+emit(const Table &t, const Options &opts)
+{
+    t.print();
+    if (opts.csv.empty())
+        return;
+    FILE *f = std::fopen(opts.csv.c_str(), "w");
+    if (!f) {
+        TD_FATAL("cannot write CSV to '%s'", opts.csv.c_str());
+        return; // unreachable unless throw-mode swallows the fatal
+    }
+    std::string csv = t.csv();
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("csv written to %s\n", opts.csv.c_str());
+}
+
+/**
+ * Build-and-emit loop: runs @p build opts.reps times, reporting the
+ * wall-clock of every repetition, and emits the last table.  Figures
+ * route their whole computation through build() so --reps times the
+ * complete sweep.
+ */
+template <typename BuildFn>
+inline void
+runFigure(const Options &opts, BuildFn &&build)
+{
+    int threads =
+        opts.threads > 0 ? opts.threads : ThreadPool::defaultThreadCount();
+    for (int rep = 0; rep < opts.reps; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        Table t = build();
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        if (rep == opts.reps - 1)
+            emit(t, opts);
+        std::printf("[rep %d/%d] %.0f ms (%d thread%s)\n", rep + 1,
+                    opts.reps, ms, threads, threads == 1 ? "" : "s");
+    }
 }
 
 /** Print the figure banner. */

@@ -9,27 +9,31 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv);
     bench::banner("Fig. 1",
                   "potential work reduction per training convolution");
-    RunConfig cfg = bench::defaultRunConfig();
-    ModelRunner runner(cfg);
+    ModelRunner runner(bench::defaultRunConfig(opts));
+    const auto models = ModelZoo::paperModels();
 
-    Table t;
-    t.header({"model", "AxW", "AxG", "WxG", "Total"});
-    std::vector<double> totals;
-    for (const auto &model : ModelZoo::paperModels()) {
-        ModelRunResult r = runner.run(model);
-        t.row({model.name,
-               fmtSpeedup(r.opPotential(TrainOp::Forward)),
-               fmtSpeedup(r.opPotential(TrainOp::BackwardData)),
-               fmtSpeedup(r.opPotential(TrainOp::BackwardWeights)),
-               fmtSpeedup(r.totalPotential())});
-        totals.push_back(r.totalPotential());
-    }
-    t.row({"geomean", "", "", "", fmtSpeedup(geomean(totals))});
-    t.print();
+    bench::runFigure(opts, [&] {
+        SweepResult sweep = runner.runMany(models);
+        Table t;
+        t.header({"model", "AxW", "AxG", "WxG", "Total"});
+        std::vector<double> totals;
+        for (size_t m = 0; m < sweep.modelCount(); ++m) {
+            const ModelRunResult &r = sweep.at(m);
+            t.row({sweep.models[m],
+                   fmtSpeedup(r.opPotential(TrainOp::Forward)),
+                   fmtSpeedup(r.opPotential(TrainOp::BackwardData)),
+                   fmtSpeedup(r.opPotential(TrainOp::BackwardWeights)),
+                   fmtSpeedup(r.totalPotential())});
+            totals.push_back(r.totalPotential());
+        }
+        t.row({"geomean", "", "", "", fmtSpeedup(geomean(totals))});
+        return t;
+    });
     bench::reference(
         "average potential ~3x across models; DenseNet121 lowest but "
         "above 1.5x; SqueezeNet above 2x; pruned ResNet50 variants "

@@ -9,31 +9,31 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv);
     bench::banner("Fig. 13", "TensorDash speedup over the baseline");
-    RunConfig cfg = bench::defaultRunConfig();
-    ModelRunner runner(cfg);
+    ModelRunner runner(bench::defaultRunConfig(opts));
+    const auto models = ModelZoo::paperModels();
 
-    Table t;
-    t.header({"model", "AxW", "AxG", "WxG", "Total"});
-    std::vector<double> totals;
-    for (const auto &model : ModelZoo::paperModels()) {
-        ModelRunResult r = runner.run(model);
-        t.row({model.name,
-               fmtSpeedup(r.opSpeedup(TrainOp::Forward)),
-               fmtSpeedup(r.opSpeedup(TrainOp::BackwardData)),
-               fmtSpeedup(r.opSpeedup(TrainOp::BackwardWeights)),
-               fmtSpeedup(r.speedup())});
-        totals.push_back(r.speedup());
-    }
-    double mean = 0.0;
-    for (double s : totals)
-        mean += s;
-    mean /= (double)totals.size();
-    t.row({"average", "", "", "", fmtSpeedup(mean)});
-    t.row({"geomean", "", "", "", fmtSpeedup(geomean(totals))});
-    t.print();
+    bench::runFigure(opts, [&] {
+        SweepResult sweep = runner.runMany(models);
+        Table t;
+        t.header({"model", "AxW", "AxG", "WxG", "Total"});
+        for (size_t m = 0; m < sweep.modelCount(); ++m) {
+            const ModelRunResult &r = sweep.at(m);
+            t.row({sweep.models[m],
+                   fmtSpeedup(r.opSpeedup(TrainOp::Forward)),
+                   fmtSpeedup(r.opSpeedup(TrainOp::BackwardData)),
+                   fmtSpeedup(r.opSpeedup(TrainOp::BackwardWeights)),
+                   fmtSpeedup(r.speedup())});
+        }
+        t.row({"average", "", "", "",
+               fmtSpeedup(sweep.meanSpeedup())});
+        t.row({"geomean", "", "", "",
+               fmtSpeedup(sweep.geomeanSpeedup())});
+        return t;
+    });
     bench::reference(
         "1.95x average speedup; never slows down execution; "
         "DenseNet121's WxG speedup is negligible (its batch-norm "

@@ -2,6 +2,10 @@
  * @file
  * Fig. 14: speedup of TensorDash as training progresses (0% to 100%
  * of the epochs), per model.
+ *
+ * The whole figure is one runMany() batch: every (model, progress,
+ * layer, op) cell becomes a task on the shared pool.  All points use
+ * the same synthesis seed so columns differ only in training progress.
  */
 
 #include "bench_util.hh"
@@ -9,32 +13,33 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv);
     bench::banner("Fig. 14", "speedup as training progresses");
     const std::vector<double> points = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
                                         0.6, 0.7, 0.8, 0.9, 1.0};
 
-    Table t;
-    std::vector<std::string> header = {"model"};
-    for (double p : points)
-        header.push_back(fmtPercent(p, 0));
-    t.header(header);
+    RunConfig cfg = bench::defaultRunConfig(opts);
+    cfg.accel.max_sampled_macs = bench::sampleBudget(200000, 60000);
+    ModelRunner runner(cfg);
+    const auto models = ModelZoo::paperModels();
 
-    for (const auto &model : ModelZoo::paperModels()) {
-        std::vector<std::string> row = {model.name};
-        for (double p : points) {
-            RunConfig cfg = bench::defaultRunConfig();
-            cfg.accel.max_sampled_macs =
-                bench::sampleBudget(200000, 60000);
-            cfg.progress = p;
-            cfg.seed = 7 + (uint64_t)(p * 100);
-            ModelRunner runner(cfg);
-            row.push_back(fmtDouble(runner.run(model).speedup(), 2));
+    bench::runFigure(opts, [&] {
+        SweepResult sweep = runner.runMany(models, points);
+        Table t;
+        std::vector<std::string> header = {"model"};
+        for (double p : points)
+            header.push_back(fmtPercent(p, 0));
+        t.header(header);
+        for (size_t m = 0; m < sweep.modelCount(); ++m) {
+            std::vector<std::string> row = {sweep.models[m]};
+            for (size_t p = 0; p < sweep.pointCount(); ++p)
+                row.push_back(fmtDouble(sweep.at(m, p).speedup(), 2));
+            t.row(row);
         }
-        t.row(row);
-    }
-    t.print();
+        return t;
+    });
     bench::reference(
         "speedups fairly stable throughout training; dense models "
         "trace an overturned U (low at random init, peak by ~10%, "

@@ -9,31 +9,32 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv);
     bench::banner("Fig. 15", "energy efficiency over the baseline");
-    RunConfig cfg = bench::defaultRunConfig();
-    ModelRunner runner(cfg);
+    ModelRunner runner(bench::defaultRunConfig(opts));
+    const auto models = ModelZoo::paperModels();
 
-    Table t;
-    t.header({"model", "Core Energy Effic.", "Overall Energy Effic."});
-    std::vector<double> core, overall;
-    for (const auto &model : ModelZoo::paperModels()) {
-        ModelRunResult r = runner.run(model);
-        t.row({model.name, fmtSpeedup(r.coreEfficiency()),
-               fmtSpeedup(r.overallEfficiency())});
-        core.push_back(r.coreEfficiency());
-        overall.push_back(r.overallEfficiency());
-    }
-    double core_mean = 0.0, overall_mean = 0.0;
-    for (size_t i = 0; i < core.size(); ++i) {
-        core_mean += core[i];
-        overall_mean += overall[i];
-    }
-    core_mean /= (double)core.size();
-    overall_mean /= (double)overall.size();
-    t.row({"average", fmtSpeedup(core_mean), fmtSpeedup(overall_mean)});
-    t.print();
+    bench::runFigure(opts, [&] {
+        SweepResult sweep = runner.runMany(models);
+        Table t;
+        t.header({"model", "Core Energy Effic.",
+                  "Overall Energy Effic."});
+        double core_mean = 0.0, overall_mean = 0.0;
+        for (size_t m = 0; m < sweep.modelCount(); ++m) {
+            const ModelRunResult &r = sweep.at(m);
+            t.row({sweep.models[m], fmtSpeedup(r.coreEfficiency()),
+                   fmtSpeedup(r.overallEfficiency())});
+            core_mean += r.coreEfficiency();
+            overall_mean += r.overallEfficiency();
+        }
+        core_mean /= (double)sweep.modelCount();
+        overall_mean /= (double)sweep.modelCount();
+        t.row({"average", fmtSpeedup(core_mean),
+               fmtSpeedup(overall_mean)});
+        return t;
+    });
     bench::reference("compute logic 1.89x more energy efficient on "
                      "average; 1.6x overall when on-chip and off-chip "
                      "memory accesses are taken into account");

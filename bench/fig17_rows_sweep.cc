@@ -10,37 +10,38 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv);
     bench::banner("Fig. 17", "speedup vs PE rows per tile (cols = 4)");
     const int row_counts[] = {1, 2, 4, 8, 16};
+    const auto models = ModelZoo::paperModels();
 
-    Table t;
-    t.header({"model", "1Row", "2Rows", "4Rows", "8Rows", "16Rows"});
-    std::vector<std::vector<double>> per_config(5);
-    for (const auto &model : ModelZoo::paperModels()) {
-        std::vector<std::string> row = {model.name};
-        for (size_t i = 0; i < 5; ++i) {
-            RunConfig cfg = bench::defaultRunConfig();
+    bench::runFigure(opts, [&] {
+        // One whole-suite batch per geometry; all five share the pool.
+        std::vector<SweepResult> sweeps;
+        for (int rows : row_counts) {
+            RunConfig cfg = bench::defaultRunConfig(opts);
             cfg.accel.max_sampled_macs =
                 bench::sampleBudget(250000, 60000);
-            cfg.accel.tile.rows = row_counts[i];
-            ModelRunner runner(cfg);
-            double s = runner.run(model).speedup();
-            row.push_back(fmtDouble(s, 2));
-            per_config[i].push_back(s);
+            cfg.accel.tile.rows = rows;
+            sweeps.push_back(ModelRunner(cfg).runMany(models));
         }
-        t.row(row);
-    }
-    std::vector<std::string> mean_row = {"average"};
-    for (size_t i = 0; i < 5; ++i) {
-        double m = 0.0;
-        for (double s : per_config[i])
-            m += s;
-        mean_row.push_back(fmtDouble(m / per_config[i].size(), 2));
-    }
-    t.row(mean_row);
-    t.print();
+        Table t;
+        t.header({"model", "1Row", "2Rows", "4Rows", "8Rows",
+                  "16Rows"});
+        for (size_t m = 0; m < models.size(); ++m) {
+            std::vector<std::string> row = {models[m].name};
+            for (const SweepResult &sweep : sweeps)
+                row.push_back(fmtDouble(sweep.at(m).speedup(), 2));
+            t.row(row);
+        }
+        std::vector<std::string> mean_row = {"average"};
+        for (const SweepResult &sweep : sweeps)
+            mean_row.push_back(fmtDouble(sweep.meanSpeedup(), 2));
+        t.row(mean_row);
+        return t;
+    });
     bench::reference("average speedup decreases from 2.1x at 1 row to "
                      "1.72x at 16 rows: all rows wait for the one with "
                      "the densest value stream");

@@ -10,37 +10,37 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Fig. 18", "speedup vs PE columns per tile (rows = 4)");
+    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::banner("Fig. 18",
+                  "speedup vs PE columns per tile (rows = 4)");
     const int col_counts[] = {4, 16};
+    const auto models = ModelZoo::paperModels();
 
-    Table t;
-    t.header({"model", "4 Columns", "16 Columns"});
-    std::vector<std::vector<double>> per_config(2);
-    for (const auto &model : ModelZoo::paperModels()) {
-        std::vector<std::string> row = {model.name};
-        for (size_t i = 0; i < 2; ++i) {
-            RunConfig cfg = bench::defaultRunConfig();
+    bench::runFigure(opts, [&] {
+        std::vector<SweepResult> sweeps;
+        for (int cols : col_counts) {
+            RunConfig cfg = bench::defaultRunConfig(opts);
             cfg.accel.max_sampled_macs =
                 bench::sampleBudget(250000, 60000);
-            cfg.accel.tile.cols = col_counts[i];
-            ModelRunner runner(cfg);
-            double s = runner.run(model).speedup();
-            row.push_back(fmtDouble(s, 2));
-            per_config[i].push_back(s);
+            cfg.accel.tile.cols = cols;
+            sweeps.push_back(ModelRunner(cfg).runMany(models));
         }
-        t.row(row);
-    }
-    std::vector<std::string> mean_row = {"average"};
-    for (size_t i = 0; i < 2; ++i) {
-        double m = 0.0;
-        for (double s : per_config[i])
-            m += s;
-        mean_row.push_back(fmtDouble(m / per_config[i].size(), 2));
-    }
-    t.row(mean_row);
-    t.print();
+        Table t;
+        t.header({"model", "4 Columns", "16 Columns"});
+        for (size_t m = 0; m < models.size(); ++m) {
+            std::vector<std::string> row = {models[m].name};
+            for (const SweepResult &sweep : sweeps)
+                row.push_back(fmtDouble(sweep.at(m).speedup(), 2));
+            t.row(row);
+        }
+        std::vector<std::string> mean_row = {"average"};
+        for (const SweepResult &sweep : sweeps)
+            mean_row.push_back(fmtDouble(sweep.meanSpeedup(), 2));
+        t.row(mean_row);
+        return t;
+    });
     bench::reference("increasing columns scales throughput to 16K "
                      "MACs/cycle with little effect on speedup; slight "
                      "drops are due predominantly to fragmentation");

@@ -10,33 +10,35 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv);
     bench::banner("Fig. 19", "staging buffer depth 2 vs 3");
-    const char *models[] = {"DenseNet121", "SqueezeNet", "img2txt",
-                            "resnet50_DS90"};
+    const char *names[] = {"DenseNet121", "SqueezeNet", "img2txt",
+                           "resnet50_DS90"};
+    std::vector<ModelProfile> models;
+    for (const char *name : names)
+        models.push_back(ModelZoo::byName(name));
 
-    Table t;
-    t.header({"model", "2-Deep", "3-Deep"});
-    std::vector<double> two, three;
-    for (const char *name : models) {
-        ModelProfile model = ModelZoo::byName(name);
-        double s[2];
+    bench::runFigure(opts, [&] {
+        std::vector<SweepResult> sweeps;
         for (int depth : {2, 3}) {
-            RunConfig cfg = bench::defaultRunConfig();
+            RunConfig cfg = bench::defaultRunConfig(opts);
             cfg.accel.max_sampled_macs =
                 bench::sampleBudget(400000, 80000);
             cfg.accel.tile.depth = depth;
-            ModelRunner runner(cfg);
-            s[depth - 2] = runner.run(model).speedup();
+            sweeps.push_back(ModelRunner(cfg).runMany(models));
         }
-        two.push_back(s[0]);
-        three.push_back(s[1]);
-        t.row({name, fmtDouble(s[0], 2), fmtDouble(s[1], 2)});
-    }
-    t.row({"Geom", fmtDouble(geomean(two), 2),
-           fmtDouble(geomean(three), 2)});
-    t.print();
+        Table t;
+        t.header({"model", "2-Deep", "3-Deep"});
+        for (size_t m = 0; m < models.size(); ++m)
+            t.row({models[m].name,
+                   fmtDouble(sweeps[0].at(m).speedup(), 2),
+                   fmtDouble(sweeps[1].at(m).speedup(), 2)});
+        t.row({"Geom", fmtDouble(sweeps[0].geomeanSpeedup(), 2),
+               fmtDouble(sweeps[1].geomeanSpeedup(), 2)});
+        return t;
+    });
     bench::reference("2-deep staging (5 movements/multiplier) yields "
                      "lower but still considerable speedups -- an "
                      "appealing cost/performance point");

@@ -3,7 +3,8 @@
  * Section 4.4 (GCN): a model with virtually no sparsity.  Without
  * power gating TensorDash gains ~1% performance and loses ~0.5%
  * energy efficiency; with the automatic power gating of section 3.5
- * nothing is lost.
+ * nothing is lost.  The gated run exercises the engine's two-phase
+ * observe/run pipeline.
  */
 
 #include "bench_util.hh"
@@ -11,25 +12,29 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv);
     bench::banner("GCN (no sparsity)",
                   "behaviour on a model with virtually no zeros");
     ModelProfile gcn = ModelZoo::gcn();
 
-    Table t;
-    t.header({"configuration", "speedup", "core eff.", "overall eff."});
-    for (bool gating : {false, true}) {
-        RunConfig cfg = bench::defaultRunConfig();
-        cfg.accel.power_gating = gating;
-        ModelRunner runner(cfg);
-        ModelRunResult r = runner.run(gcn);
-        t.row({gating ? "with power gating" : "no power gating",
-               fmtSpeedup(r.speedup()),
-               fmtSpeedup(r.coreEfficiency()),
-               fmtSpeedup(r.overallEfficiency())});
-    }
-    t.print();
+    bench::runFigure(opts, [&] {
+        Table t;
+        t.header({"configuration", "speedup", "core eff.",
+                  "overall eff."});
+        for (bool gating : {false, true}) {
+            RunConfig cfg = bench::defaultRunConfig(opts);
+            cfg.accel.power_gating = gating;
+            ModelRunner runner(cfg);
+            ModelRunResult r = runner.run(gcn);
+            t.row({gating ? "with power gating" : "no power gating",
+                   fmtSpeedup(r.speedup()),
+                   fmtSpeedup(r.coreEfficiency()),
+                   fmtSpeedup(r.overallEfficiency())});
+        }
+        return t;
+    });
     bench::reference("GCN exhibits virtually no sparsity; TensorDash "
                      "still improves performance by ~1% (a few layers "
                      "have ~5% sparsity) and overall energy "

@@ -9,8 +9,9 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv);
     bench::banner("bfloat16 study",
                   "area/power overheads and energy efficiency");
 
@@ -35,25 +36,29 @@ main()
     bf16.table3().print();
 
     // Energy efficiency across the model suite with bf16 units.
-    RunConfig cfg = bench::defaultRunConfig();
+    RunConfig cfg = bench::defaultRunConfig(opts);
     cfg.accel.dtype = DataType::Bf16;
     cfg.accel.max_sampled_macs = bench::sampleBudget(300000, 80000);
     ModelRunner runner(cfg);
-    double core_mean = 0.0, overall_mean = 0.0;
-    int count = 0;
-    Table e("bfloat16 energy efficiency per model");
-    e.header({"model", "core", "overall"});
-    for (const auto &model : ModelZoo::paperModels()) {
-        ModelRunResult r = runner.run(model);
-        e.row({model.name, fmtSpeedup(r.coreEfficiency()),
-               fmtSpeedup(r.overallEfficiency())});
-        core_mean += r.coreEfficiency();
-        overall_mean += r.overallEfficiency();
-        ++count;
-    }
-    e.row({"average", fmtSpeedup(core_mean / count),
-           fmtSpeedup(overall_mean / count)});
-    e.print();
+    const auto models = ModelZoo::paperModels();
+
+    bench::runFigure(opts, [&] {
+        SweepResult sweep = runner.runMany(models);
+        Table e("bfloat16 energy efficiency per model");
+        e.header({"model", "core", "overall"});
+        double core_mean = 0.0, overall_mean = 0.0;
+        for (size_t m = 0; m < sweep.modelCount(); ++m) {
+            const ModelRunResult &r = sweep.at(m);
+            e.row({sweep.models[m], fmtSpeedup(r.coreEfficiency()),
+                   fmtSpeedup(r.overallEfficiency())});
+            core_mean += r.coreEfficiency();
+            overall_mean += r.overallEfficiency();
+        }
+        e.row({"average",
+               fmtSpeedup(core_mean / (double)sweep.modelCount()),
+               fmtSpeedup(overall_mean / (double)sweep.modelCount())});
+        return e;
+    });
     bench::reference("bf16 overheads 1.13x area / 1.05x power (vs "
                      "1.09x / 1.02x for fp32); compute logic 1.84x "
                      "and overall 1.43x more energy efficient");

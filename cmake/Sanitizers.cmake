@@ -1,7 +1,18 @@
-# Opt-in ASan/UBSan configuration (TENSORDASH_SANITIZE=ON).
+# Opt-in sanitizer configuration:
 #
-# Applied globally rather than per-target: sanitizer runtimes must be
-# consistent across the static library and every binary linking it.
+#   TENSORDASH_SANITIZE=ON  AddressSanitizer + UndefinedBehaviorSanitizer
+#   TENSORDASH_TSAN=ON      ThreadSanitizer (for the parallel engine)
+#
+# The two are mutually exclusive: ASan and TSan cannot be linked into
+# the same binary.  Either is applied globally rather than per-target:
+# sanitizer runtimes must be consistent across the static library and
+# every binary linking it.
+
+if(TENSORDASH_SANITIZE AND TENSORDASH_TSAN)
+    message(FATAL_ERROR
+        "TENSORDASH_SANITIZE (ASan/UBSan) and TENSORDASH_TSAN (TSan) "
+        "are mutually exclusive; enable at most one.")
+endif()
 
 if(TENSORDASH_SANITIZE)
     if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
@@ -11,6 +22,18 @@ if(TENSORDASH_SANITIZE)
     else()
         message(WARNING
             "TENSORDASH_SANITIZE is only supported with GCC/Clang; "
+            "ignoring for ${CMAKE_CXX_COMPILER_ID}.")
+    endif()
+endif()
+
+if(TENSORDASH_TSAN)
+    if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+        set(_td_tsan_flags -fsanitize=thread -fno-omit-frame-pointer)
+        add_compile_options(${_td_tsan_flags})
+        add_link_options(${_td_tsan_flags})
+    else()
+        message(WARNING
+            "TENSORDASH_TSAN is only supported with GCC/Clang; "
             "ignoring for ${CMAKE_CXX_COMPILER_ID}.")
     endif()
 endif()

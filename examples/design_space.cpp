@@ -5,10 +5,14 @@
  * speedup, area and compute-energy efficiency side by side -- the
  * kind of study section 4.4 performs.
  *
- *   ./build/examples/design_space [model]
+ * Each configuration's layers simulate as parallel tasks on the
+ * shared pool; results are identical at any thread count.
+ *
+ *   ./build/examples/design_space [model] [threads]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/tensordash.hh"
@@ -19,11 +23,12 @@ namespace {
 
 void
 evaluate(const std::string &model, const char *label,
-         AcceleratorConfig accel)
+         AcceleratorConfig accel, int threads)
 {
     RunConfig cfg;
     cfg.accel = accel;
     cfg.accel.max_sampled_macs = 200000;
+    cfg.threads = threads;
     ModelRunner runner(cfg);
     ModelRunResult r = runner.runByName(model);
     AreaModel area(accel.geometry());
@@ -37,37 +42,54 @@ int
 main(int argc, char **argv)
 {
     std::string model = argc > 1 ? argv[1] : "VGG16";
-    std::printf("Design space exploration on %s\n", model.c_str());
+    int threads = 0;
+    if (argc > 2) {
+        char *end = nullptr;
+        long v = std::strtol(argv[2], &end, 10);
+        if (end == argv[2] || *end != '\0' || v < 0 || v > 4096) {
+            std::fprintf(stderr,
+                         "bad THREADS '%s' (want an integer in "
+                         "[0, 4096]; 0 = auto)\n", argv[2]);
+            return 1;
+        }
+        threads = (int)v;
+    }
+    std::printf("Design space exploration on %s (%d simulation "
+                "thread%s)\n", model.c_str(),
+                threads > 0 ? threads : ThreadPool::defaultThreadCount(),
+                (threads > 0 ? threads
+                             : ThreadPool::defaultThreadCount()) == 1
+                    ? "" : "s");
     std::printf("%-34s %7s %13s %9s\n", "configuration", "speedup",
                 "compute area", "core eff");
     std::printf("%s\n", std::string(66, '-').c_str());
 
     AcceleratorConfig base;
-    evaluate(model, "default (4x4, 3-deep, paper mux)", base);
+    evaluate(model, "default (4x4, 3-deep, paper mux)", base, threads);
 
     AcceleratorConfig shallow = base;
     shallow.tile.depth = 2;
-    evaluate(model, "2-deep staging (cheaper)", shallow);
+    evaluate(model, "2-deep staging (cheaper)", shallow, threads);
 
     AcceleratorConfig rows1 = base;
     rows1.tile.rows = 1;
-    evaluate(model, "1 row per tile (no imbalance)", rows1);
+    evaluate(model, "1 row per tile (no imbalance)", rows1, threads);
 
     AcceleratorConfig rows16 = base;
     rows16.tile.rows = 16;
-    evaluate(model, "16 rows per tile", rows16);
+    evaluate(model, "16 rows per tile", rows16, threads);
 
     AcceleratorConfig lookahead = base;
     lookahead.tile.interconnect = InterconnectKind::LookaheadOnly;
-    evaluate(model, "lookahead-only interconnect", lookahead);
+    evaluate(model, "lookahead-only interconnect", lookahead, threads);
 
     AcceleratorConfig xbar = base;
     xbar.tile.interconnect = InterconnectKind::Crossbar;
-    evaluate(model, "idealised crossbar", xbar);
+    evaluate(model, "idealised crossbar", xbar, threads);
 
     AcceleratorConfig bf16 = base;
     bf16.dtype = DataType::Bf16;
-    evaluate(model, "bfloat16 datapath", bf16);
+    evaluate(model, "bfloat16 datapath", bf16, threads);
 
     std::printf("\nAreas come from the Table 3 synthesis constants "
                 "scaled to each geometry.\n");

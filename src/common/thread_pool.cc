@@ -1,0 +1,224 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+namespace {
+
+/** Set while a pool worker runs a body: nested calls go inline. */
+thread_local bool tls_in_pool_worker = false;
+
+/** Hard bound on pool growth (matches the TD_THREADS validity range). */
+constexpr int kMaxThreads = 4096;
+
+} // namespace
+
+/** One published parallel-for: shared cursor + completion tracking. */
+struct ThreadPool::Job
+{
+    size_t count = 0;
+    const std::function<void(size_t)> *body = nullptr;
+
+    /** Next unclaimed index; threads race to claim from here. */
+    std::atomic<size_t> next{0};
+
+    /** Worker seats left (caps parallelism below the pool size). */
+    std::atomic<int> seats{0};
+
+    /** Workers currently inside claimLoop(). */
+    int active = 0; ///< guarded by the pool's mu_
+
+    /** Set on the first body exception; stops further claims. */
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    void
+    claimLoop()
+    {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            // Completion is tracked by active-executor count, not by
+            // cursor exhaustion, so bail out as soon as a body failed.
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                (*body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(error_mu);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = threads > 0 ? std::min(threads, kMaxThreads)
+                        : defaultThreadCount();
+    // The calling thread is an executor too, so spawn size - 1 workers.
+    workers_.reserve((size_t)(n - 1));
+    try {
+        for (int i = 1; i < n; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // Thread exhaustion (container limits etc): run with what we
+        // got rather than terminating — the pool stays fully
+        // functional at a smaller size.
+        TD_WARN("thread pool limited to %d of %d requested threads",
+                (int)workers_.size() + 1, n);
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+int
+ThreadPool::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return (int)workers_.size() + 1;
+}
+
+int
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("TD_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+            return (int)v;
+        TD_WARN("ignoring invalid TD_THREADS='%s' "
+                "(want an integer in [1, 4096])", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? (int)hw : 1;
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::parallelFor(size_t count,
+                        const std::function<void(size_t)> &body,
+                        int parallelism)
+{
+    if (count == 0)
+        return;
+    if (count == 1 || parallelism == 1 || tls_in_pool_worker) {
+        // Inline path: index order, no synchronisation.
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    size_t nworkers;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Grow to honour an explicit request above the current size;
+        // the pool keeps the extra workers for later jobs.  Never grow
+        // past the item count: the surplus could not be seated.
+        int count_cap = (int)std::min(count, (size_t)kMaxThreads);
+        int cap = std::min({parallelism, kMaxThreads, count_cap});
+        try {
+            while ((int)workers_.size() + 1 < cap)
+                workers_.emplace_back([this] { workerLoop(); });
+        } catch (...) {
+            TD_WARN("thread pool growth limited to %d of %d requested "
+                    "threads", (int)workers_.size() + 1, cap);
+        }
+        nworkers = parallelism > 0
+            ? std::min((size_t)(parallelism - 1), workers_.size())
+            : workers_.size();
+    }
+    if (nworkers == 0) {
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    Job job;
+    job.count = count;
+    job.body = &body;
+    // Workers beyond the item count or the parallelism cap would only
+    // spin on an exhausted cursor; don't seat them.
+    job.seats.store((int)std::min(nworkers, count),
+                    std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &job;
+        ++seq_;
+    }
+    work_cv_.notify_all();
+
+    // The caller is an executor too.  Flag it like a worker so a body
+    // that recursively calls parallelFor() runs inline instead of
+    // deadlocking on run_mu_.
+    tls_in_pool_worker = true;
+    job.claimLoop();
+    tls_in_pool_worker = false;
+
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] { return job.active == 0; });
+        job_ = nullptr;
+    }
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_seq = 0;
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || (job_ != nullptr && seq_ != seen_seq);
+            });
+            if (stop_)
+                return;
+            seen_seq = seq_;
+            job = job_;
+            if (job->seats.fetch_sub(1, std::memory_order_relaxed) <= 0)
+                continue; // job already fully seated
+            ++job->active;
+        }
+        tls_in_pool_worker = true;
+        job->claimLoop();
+        tls_in_pool_worker = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --job->active;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+} // namespace tensordash

@@ -1,58 +1,229 @@
 #include "core/runner.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/thread_pool.hh"
 
 namespace tensordash {
+
+namespace {
+
+/**
+ * One (model, progress) cell of a sweep.  The per-layer synthesis
+ * streams (forked serially so synthesis is order-independent) are
+ * owned per model and shared by all of its progress points.
+ */
+struct SweepUnit
+{
+    const ModelProfile *model = nullptr;
+    double progress = 0.0;
+    size_t first_task = 0; ///< offset of this unit in the task grid
+    const std::vector<Rng> *layer_rngs = nullptr;
+};
+
+/**
+ * Coordinates of one stateless simulation task.  A task covers one
+ * layer and runs all three training convolutions on it: finer
+ * per-(layer, op) tasks would synthesize each layer's tensors three
+ * times over, and a (model x layer) grid already yields far more
+ * tasks than threads.
+ */
+struct SimTask
+{
+    size_t unit;
+    size_t layer;
+};
+
+/** What one (layer, op) produces; reduced in serial order afterwards. */
+struct SimTaskResult
+{
+    OpResult op;
+    EnergyBreakdown energy_base;
+    EnergyBreakdown energy_td;
+};
+
+/** Synthesise one layer's tensors from a private copy of its stream. */
+LayerTensors
+synthesizeLayer(const SweepUnit &unit, size_t layer)
+{
+    Rng layer_rng = (*unit.layer_rngs)[layer];
+    return ModelZoo::synthesize(*unit.model, unit.model->layers[layer],
+                                unit.progress, layer_rng);
+}
+
+/**
+ * Run one layer's three ops on a task-private Accelerator, writing
+ * into the task's three grid slots: synthesize -> (observe + freeze
+ * the gating table) -> lower -> simulate.  Depends only on the config
+ * and the unit, so tasks run in any order on any thread.
+ *
+ * The observe phase lives inside the task: gating decisions depend
+ * only on the layer's own measured zero fractions (the serial driver
+ * overwrote its per-operand counters each layer), so the frozen table
+ * of section 3.5 is a pure function of tensors the task synthesizes
+ * anyway, and no cross-layer mutable state remains.
+ */
+void
+simulateTask(const RunConfig &config, const SweepUnit &unit,
+             const SimTask &task, SimTaskResult *slots)
+{
+    AcceleratorConfig accel_cfg = config.accel;
+    accel_cfg.wg_side = unit.model->wg_side;
+    Accelerator accel(accel_cfg);
+
+    LayerTensors t = synthesizeLayer(unit, task.layer);
+    if (config.accel.power_gating) {
+        // Observe -> freeze: decisions are immutable before any op of
+        // this layer simulates.
+        GateObservations obs;
+        obs.sparsity["acts"] = t.acts.sparsity();
+        obs.sparsity["grads"] = t.grads.sparsity();
+        obs.sparsity["weights"] = t.weights.sparsity();
+        accel.powerGate().freezeFrom(obs);
+    }
+    // Output write-back sparsity estimates: O looks like this model's
+    // activations, GA like its gradients, GW is dense.
+    const double out_sparsity[3] = {t.acts.sparsity(),
+                                    t.grads.sparsity(), 0.0};
+    for (int op = 0; op < 3; ++op) {
+        SimTaskResult &r = slots[op];
+        r.op = accel.runConvOp((TrainOp)op, t.acts, t.weights, t.grads,
+                               t.spec, out_sparsity[op]);
+        r.energy_base = accel.energy(r.op, false);
+        r.energy_td = accel.energy(r.op, true);
+    }
+}
+
+} // namespace
+
+const ModelRunResult &
+SweepResult::at(size_t model, size_t point) const
+{
+    TD_ASSERT(model < modelCount() && point < pointCount(),
+              "sweep cell (%zu, %zu) out of range (%zu x %zu)", model,
+              point, modelCount(), pointCount());
+    return results[model * pointCount() + point];
+}
+
+std::vector<double>
+SweepResult::speedups(size_t point) const
+{
+    std::vector<double> s;
+    s.reserve(modelCount());
+    for (size_t m = 0; m < modelCount(); ++m)
+        s.push_back(at(m, point).speedup());
+    return s;
+}
+
+double
+SweepResult::meanSpeedup(size_t point) const
+{
+    std::vector<double> s = speedups(point);
+    double sum = 0.0;
+    for (double v : s)
+        sum += v;
+    return s.empty() ? 1.0 : sum / (double)s.size();
+}
+
+double
+SweepResult::geomeanSpeedup(size_t point) const
+{
+    return geomean(speedups(point));
+}
 
 ModelRunResult
 ModelRunner::run(const ModelProfile &model) const
 {
-    ModelRunResult result;
-    result.model = model.name;
-    for (int i = 0; i < 3; ++i)
-        result.ops[i].op = (TrainOp)i;
-
-    AcceleratorConfig accel_cfg = config_.accel;
-    accel_cfg.wg_side = model.wg_side;
-    Accelerator accel(accel_cfg);
-
-    Rng rng(config_.seed * 0x2545f4914f6cdd1dull + 1);
-    int layer_index = 0;
-    for (const LayerSpec &layer : model.layers) {
-        Rng layer_rng(rng.fork());
-        LayerTensors t = ModelZoo::synthesize(model, layer,
-                                              config_.progress,
-                                              layer_rng);
-        // Train the power-gating counters with this layer's measured
-        // zero fractions (the per-layer output counters of section 3.5).
-        accel.powerGate().observe("acts", t.acts.sparsity());
-        accel.powerGate().observe("grads", t.grads.sparsity());
-        accel.powerGate().observe("weights", t.weights.sparsity());
-
-        // Output write-back sparsity estimates: O looks like this
-        // model's activations, GA like its gradients, GW is dense.
-        const double out_sparsity[3] = {t.acts.sparsity(),
-                                        t.grads.sparsity(), 0.0};
-        for (int i = 0; i < 3; ++i) {
-            OpResult r = accel.runConvOp((TrainOp)i, t.acts, t.weights,
-                                         t.grads, t.spec,
-                                         out_sparsity[i]);
-            result.ops[i].merge(r);
-            result.total.merge(r);
-            result.energy_base.merge(accel.energy(r, false));
-            result.energy_td.merge(accel.energy(r, true));
-        }
-        ++layer_index;
-    }
-    TD_ASSERT(layer_index > 0, "model '%s' has no layers",
-              model.name.c_str());
-    return result;
+    return std::move(runMany(std::span(&model, 1)).results.front());
 }
 
 ModelRunResult
 ModelRunner::runByName(const std::string &name) const
 {
-    return run(ModelZoo::byName(name));
+    ModelProfile model = ModelZoo::byName(name);
+    return run(model);
+}
+
+SweepResult
+ModelRunner::runMany(std::span<const ModelProfile> models,
+                     std::span<const double> progress_points) const
+{
+    SweepResult sweep;
+    sweep.progress_points = progress_points.empty()
+        ? std::vector<double>{config_.progress}
+        : std::vector<double>(progress_points.begin(),
+                              progress_points.end());
+
+    // Fork the per-layer streams in serial layer order, which makes
+    // synthesis independent of task execution order.  One vector per
+    // model, shared by all of its progress points.
+    std::vector<std::vector<Rng>> model_rngs;
+    model_rngs.reserve(models.size());
+    for (const ModelProfile &model : models) {
+        TD_ASSERT(!model.layers.empty(), "model '%s' has no layers",
+                  model.name.c_str());
+        Rng rng(config_.seed * 0x2545f4914f6cdd1dull + 1);
+        std::vector<Rng> layer_rngs;
+        layer_rngs.reserve(model.layers.size());
+        for (size_t l = 0; l < model.layers.size(); ++l)
+            layer_rngs.push_back(rng.fork());
+        model_rngs.push_back(std::move(layer_rngs));
+    }
+
+    // Lay out the (model x progress x layer) task grid.
+    std::vector<SweepUnit> units;
+    std::vector<SimTask> tasks;
+    for (size_t m = 0; m < models.size(); ++m) {
+        const ModelProfile &model = models[m];
+        sweep.models.push_back(model.name);
+        for (double progress : sweep.progress_points) {
+            SweepUnit unit;
+            unit.model = &model;
+            unit.progress = progress;
+            unit.first_task = tasks.size();
+            unit.layer_rngs = &model_rngs[m];
+            for (size_t l = 0; l < model.layers.size(); ++l)
+                tasks.push_back({units.size(), l});
+            units.push_back(unit);
+        }
+    }
+
+    ThreadPool &pool = ThreadPool::shared();
+
+    // Run pass: one stateless task per layer, each writing only its
+    // own three (layer, op) grid slots.
+    std::vector<SimTaskResult> grid(tasks.size() * 3);
+    pool.parallelFor(
+        tasks.size(),
+        [&](size_t i) {
+            simulateTask(config_, units[tasks[i].unit], tasks[i],
+                         &grid[i * 3]);
+        },
+        config_.threads);
+
+    // Reduce: merge in serial (layer, op) order, making the
+    // aggregates bit-identical to a single-threaded run.
+    sweep.results.reserve(units.size());
+    for (const SweepUnit &unit : units) {
+        ModelRunResult result;
+        result.model = unit.model->name;
+        for (int i = 0; i < 3; ++i)
+            result.ops[i].op = (TrainOp)i;
+        for (size_t l = 0; l < unit.model->layers.size(); ++l) {
+            for (int op = 0; op < 3; ++op) {
+                const SimTaskResult &r =
+                    grid[(unit.first_task + l) * 3 + (size_t)op];
+                result.ops[op].merge(r.op);
+                result.total.merge(r.op);
+                result.energy_base.merge(r.energy_base);
+                result.energy_td.merge(r.energy_td);
+            }
+        }
+        sweep.results.push_back(std::move(result));
+    }
+    return sweep;
 }
 
 } // namespace tensordash

@@ -10,10 +10,23 @@
  * calibration), synthesises per-layer tensors at a chosen point in
  * training, runs all three training convolutions of every layer through
  * the accelerator, and aggregates cycles, potentials and energy.
+ *
+ * Execution is task-based: every layer becomes one stateless
+ * simulation task (synthesize -> lower -> simulate its three training
+ * convolutions -> reduce) on the shared ThreadPool, each with its own
+ * Accelerator instance.
+ * Per-layer Rng streams are forked serially up front and results are
+ * merged in serial (layer, op) order, so a run is bit-identical at any
+ * thread count.  With power gating enabled, each task observes its
+ * layer's sparsity stats and freezes the gating table before any op
+ * simulates (see PowerGateController) — gating decisions are per-layer
+ * pure functions, so no cross-layer mutable state remains.
  */
 
 #include <array>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "models/model_zoo.hh"
 #include "sim/accelerator.hh"
@@ -30,6 +43,13 @@ struct RunConfig
 
     /** Seed for tensor synthesis. */
     uint64_t seed = 7;
+
+    /**
+     * Maximum simulation parallelism: 1 = fully serial, 0 = the shared
+     * pool's size (TD_THREADS or hardware_concurrency).  Results are
+     * identical at any setting.
+     */
+    int threads = 0;
 };
 
 /** Aggregated result of simulating one model. */
@@ -80,6 +100,37 @@ struct ModelRunResult
     }
 };
 
+/**
+ * Aggregated results of a batch sweep: a (model x progress point)
+ * grid of ModelRunResults from one runMany() call.
+ */
+struct SweepResult
+{
+    /** Model names, in the order they were passed. */
+    std::vector<std::string> models;
+
+    /** Progress points simulated for every model. */
+    std::vector<double> progress_points;
+
+    /** Model-major grid: results[m * progress_points.size() + p]. */
+    std::vector<ModelRunResult> results;
+
+    size_t modelCount() const { return models.size(); }
+    size_t pointCount() const { return progress_points.size(); }
+
+    /** Result for one (model, progress point) cell. */
+    const ModelRunResult &at(size_t model, size_t point = 0) const;
+
+    /** Per-model speedups at one progress point, in model order. */
+    std::vector<double> speedups(size_t point = 0) const;
+
+    /** Arithmetic-mean speedup across models at one progress point. */
+    double meanSpeedup(size_t point = 0) const;
+
+    /** Geometric-mean speedup across models at one progress point. */
+    double geomeanSpeedup(size_t point = 0) const;
+};
+
 /** Drives whole-model simulations. */
 class ModelRunner
 {
@@ -93,6 +144,21 @@ class ModelRunner
 
     /** Convenience: run a zoo model by name. */
     ModelRunResult runByName(const std::string &name) const;
+
+    /**
+     * Batch API: simulate every model at every progress point in one
+     * task grid over the shared pool, so a whole figure shares one
+     * pass of scheduling instead of a private loop per cell.
+     *
+     * @param models          workload profiles to simulate
+     * @param progress_points training points; empty = the configured
+     *                        progress.  All points use the configured
+     *                        seed, so cells differ only in progress.
+     * @return model-major SweepResult; each cell is bit-identical to a
+     *         run() call with that model/progress at any thread count
+     */
+    SweepResult runMany(std::span<const ModelProfile> models,
+                        std::span<const double> progress_points = {}) const;
 
   private:
     RunConfig config_;

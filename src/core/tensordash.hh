@@ -26,6 +26,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "core/runner.hh"
 #include "models/model_zoo.hh"
 #include "sim/accelerator.hh"

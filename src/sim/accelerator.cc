@@ -18,7 +18,8 @@ Accelerator::Accelerator(const AcceleratorConfig &config)
 }
 
 OpResult
-Accelerator::runOp(const LoweredOp &lowered, const std::string &gate_key)
+Accelerator::runOp(const LoweredOp &lowered,
+                   const std::string &gate_key) const
 {
     OpResult result;
     result.op = lowered.op;
@@ -69,7 +70,7 @@ Accelerator::runOp(const LoweredOp &lowered, const std::string &gate_key)
 OpResult
 Accelerator::runConvOp(TrainOp op, const Tensor &acts,
                        const Tensor &weights, const Tensor &out_grads,
-                       const ConvSpec &spec, double out_sparsity)
+                       const ConvSpec &spec, double out_sparsity) const
 {
     Dataflow dataflow(config_.dataflow(false));
     LoweredOp lowered;
@@ -128,7 +129,7 @@ Accelerator::chargeMemory(OpResult &result, const LoweredOp &lowered,
                           uint64_t in0_nz, uint64_t in0_total,
                           uint64_t in1_nz, uint64_t in1_total,
                           uint64_t out_total, double out_sparsity,
-                          uint64_t transposed_values)
+                          uint64_t transposed_values) const
 {
     (void)lowered;
     int vb = dataTypeBytes(config_.dtype);

@@ -139,7 +139,15 @@ struct OpResult
     }
 };
 
-/** Cycle-level accelerator simulator. */
+/**
+ * Cycle-level accelerator simulator.
+ *
+ * Running an op is logically const: results depend only on the config,
+ * the operands and the (frozen) power-gate table, never on earlier
+ * runs.  The tile keeps internal scratch though, so one Accelerator
+ * instance must NOT be shared across threads — the parallel engine
+ * gives every simulation task its own instance.
+ */
 class Accelerator
 {
   public:
@@ -147,6 +155,7 @@ class Accelerator
 
     const AcceleratorConfig &config() const { return config_; }
     PowerGateController &powerGate() { return gate_; }
+    const PowerGateController &powerGate() const { return gate_; }
 
     /**
      * Run one lowered operation (performance mode).
@@ -157,7 +166,7 @@ class Accelerator
      * @return cycle counts and tile-side activity
      */
     OpResult runOp(const LoweredOp &lowered,
-                   const std::string &gate_key = "");
+                   const std::string &gate_key = "") const;
 
     /**
      * Lower and run one convolution training op including the memory
@@ -173,7 +182,8 @@ class Accelerator
      */
     OpResult runConvOp(TrainOp op, const Tensor &acts,
                        const Tensor &weights, const Tensor &out_grads,
-                       const ConvSpec &spec, double out_sparsity = 0.0);
+                       const ConvSpec &spec,
+                       double out_sparsity = 0.0) const;
 
     /**
      * Functional run: exhaustive lowering with values, producing the
@@ -192,10 +202,11 @@ class Accelerator
                       uint64_t in0_nz, uint64_t in0_total,
                       uint64_t in1_nz, uint64_t in1_total,
                       uint64_t out_total, double out_sparsity,
-                      uint64_t transposed_values);
+                      uint64_t transposed_values) const;
 
     AcceleratorConfig config_;
-    Tile tile_;
+    /** Scratch-carrying cycle model; results don't depend on it. */
+    mutable Tile tile_;
     EnergyModel energy_model_;
     PowerGateController gate_;
 };

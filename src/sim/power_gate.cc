@@ -1,8 +1,33 @@
 #include "sim/power_gate.hh"
 
-// PowerGateController is header-only; this anchors the module.
+#include "common/logging.hh"
+
 namespace tensordash {
-namespace {
-[[maybe_unused]] PowerGateController anchor_instance{};
-} // namespace
+
+void
+PowerGateController::observe(const std::string &key, double sparsity)
+{
+    TD_ASSERT(!frozen_,
+              "observe('%s') on a frozen PowerGateController; the "
+              "observe pass must complete before the run pass starts",
+              key.c_str());
+    observed_[key] = sparsity;
+}
+
+void
+PowerGateController::freezeFrom(const GateObservations &observations)
+{
+    TD_ASSERT(!frozen_, "freezeFrom() on a frozen PowerGateController");
+    observed_ = observations.sparsity;
+    frozen_ = true;
+}
+
+GateObservations
+PowerGateController::observations() const
+{
+    GateObservations obs;
+    obs.sparsity = observed_;
+    return obs;
+}
+
 } // namespace tensordash

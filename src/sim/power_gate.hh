@@ -11,12 +11,37 @@
  * the staging buffers are bypassed and the scheduler/mux blocks are
  * power-gated, so the PE behaves (and burns power) exactly like the
  * baseline.
+ *
+ * The controller runs in two phases so the parallel simulation engine
+ * stays deterministic:
+ *
+ *  - *observe*: observe() records zero fractions as layers are
+ *    measured.  This is the only mutating phase.
+ *  - *frozen*: freeze() fixes the gating decisions.  From then on the
+ *    controller is immutable — enabled()/lastObserved() are safe to
+ *    call concurrently and further observe() calls are a simulator bug.
+ *
+ * Gating decisions are per-layer pure functions of the layer's own
+ * stats, so each of ModelRunner's simulation tasks builds its layer's
+ * GateObservations table from the tensors it synthesizes and loads it
+ * into its private controller via freezeFrom() before simulating any
+ * op (see runner.cc's simulateTask).
  */
 
 #include <map>
 #include <string>
 
 namespace tensordash {
+
+/**
+ * Frozen per-operand zero fractions for one layer, produced by the
+ * observe pass and consumed by the parallel run pass.
+ */
+struct GateObservations
+{
+    /** Zero fraction per operand key ("acts", "grads", "weights"). */
+    std::map<std::string, double> sparsity;
+};
 
 /** Per-tensor gating decisions driven by observed zero counts. */
 class PowerGateController
@@ -35,16 +60,28 @@ class PowerGateController
     double minSparsity() const { return min_sparsity_; }
 
     /**
-     * Record the zero fraction measured at a layer output.
+     * Record the zero fraction measured at a layer output (observe
+     * phase only; calling this on a frozen controller panics).
      *
      * @param key      tensor identity, e.g. "layer3.acts"
      * @param sparsity fraction of zeros in [0, 1]
      */
-    void
-    observe(const std::string &key, double sparsity)
-    {
-        observed_[key] = sparsity;
-    }
+    void observe(const std::string &key, double sparsity);
+
+    /**
+     * Fix the gating decisions at the current observations.  After
+     * this the controller is immutable until clear().
+     */
+    void freeze() { frozen_ = true; }
+
+    /** Replace the observations with a frozen table and freeze. */
+    void freezeFrom(const GateObservations &observations);
+
+    /** True once the decisions are frozen. */
+    bool frozen() const { return frozen_; }
+
+    /** Snapshot of the current observations (builds frozen tables). */
+    GateObservations observations() const;
 
     /**
      * @return true when the TensorDash components should be enabled for
@@ -68,10 +105,17 @@ class PowerGateController
         return it == observed_.end() ? -1.0 : it->second;
     }
 
-    void clear() { observed_.clear(); }
+    /** Drop all observations and return to the observe phase. */
+    void
+    clear()
+    {
+        observed_.clear();
+        frozen_ = false;
+    }
 
   private:
     double min_sparsity_;
+    bool frozen_ = false;
     std::map<std::string, double> observed_;
 };
 

@@ -1,14 +1,22 @@
 /**
  * @file
- * Unit tests for the common substrate: logging, RNG, stats, tables.
+ * Unit tests for the common substrate: logging, RNG, stats, tables,
+ * thread pool.
  */
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 
 namespace tensordash {
 namespace {
@@ -213,6 +221,110 @@ TEST(Format, Helpers)
     EXPECT_EQ(fmtDouble(1.005, 2), "1.00");
     EXPECT_EQ(fmtSpeedup(1.95), "1.95x");
     EXPECT_EQ(fmtPercent(0.425, 1), "42.5%");
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    const size_t n = 1000;
+    std::vector<int> hits(n, 0);
+    pool.parallelFor(n, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, ParallelismOneRunsInlineInOrder)
+{
+    ThreadPool pool(4);
+    std::vector<size_t> order;
+    pool.parallelFor(16, [&](size_t i) { order.push_back(i); }, 1);
+    ASSERT_EQ(order.size(), 16u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SingleThreadPoolSpawnsNoWorkers)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    std::vector<size_t> order;
+    pool.parallelFor(8, [&](size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 8u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, PropagatesTheFirstBodyException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](size_t i) {
+                                      ++ran;
+                                      if (i == 3)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](size_t) {
+        // A body that fans out again must not deadlock; it runs inline.
+        pool.parallelFor(8, [&](size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, GrowsToHonourExplicitParallelism)
+{
+    // An explicit parallelism above the pool's size must win over the
+    // size the pool started with (RunConfig::threads beats TD_THREADS).
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    std::vector<int> hits(64, 0);
+    pool.parallelFor(hits.size(), [&](size_t i) { ++hits[i]; }, 4);
+    EXPECT_EQ(pool.size(), 4);
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::vector<uint64_t> out(100, 0);
+        pool.parallelFor(out.size(), [&](size_t i) {
+            out[i] = (uint64_t)i * (uint64_t)(round + 1);
+        });
+        uint64_t sum = std::accumulate(out.begin(), out.end(),
+                                       (uint64_t)0);
+        EXPECT_EQ(sum, (uint64_t)4950 * (uint64_t)(round + 1));
+    }
+}
+
+TEST(ThreadPool, DefaultThreadCountHonoursTdThreadsEnv)
+{
+    char saved[64] = {0};
+    if (const char *old = std::getenv("TD_THREADS"))
+        std::snprintf(saved, sizeof saved, "%s", old);
+
+    setenv("TD_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3);
+    // Invalid values fall back to hardware concurrency (>= 1).
+    setenv("TD_THREADS", "zero", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+    setenv("TD_THREADS", "-2", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+
+    if (saved[0])
+        setenv("TD_THREADS", saved, 1);
+    else
+        unsetenv("TD_THREADS");
 }
 
 } // namespace

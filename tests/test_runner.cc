@@ -2,7 +2,8 @@
  * @file
  * Integration tests for the model-level runner: the paper's headline
  * behaviours must hold on the full workload suite (scaled-down
- * sampling for test speed).
+ * sampling for test speed), and the task-based engine must produce
+ * bit-identical results at any thread count.
  */
 
 #include <gtest/gtest.h>
@@ -19,6 +20,87 @@ fastConfig()
     cfg.accel.tiles = 4;
     cfg.accel.max_sampled_macs = 120000;
     return cfg;
+}
+
+/** Exact (bitwise) equality of two op aggregates. */
+void
+expectSameOp(const OpResult &a, const OpResult &b)
+{
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.base_cycles, b.base_cycles);
+    EXPECT_EQ(a.td_cycles, b.td_cycles);
+    EXPECT_EQ(a.b_nonzero_slots, b.b_nonzero_slots);
+    EXPECT_EQ(a.b_total_slots, b.b_total_slots);
+    EXPECT_EQ(a.mac_slots, b.mac_slots);
+    EXPECT_EQ(a.gated, b.gated);
+    EXPECT_EQ(a.activity.cycles, b.activity.cycles);
+    EXPECT_EQ(a.activity.sram_block_reads, b.activity.sram_block_reads);
+    EXPECT_EQ(a.activity.sram_block_writes,
+              b.activity.sram_block_writes);
+    EXPECT_EQ(a.activity.spad_row_reads, b.activity.spad_row_reads);
+    EXPECT_EQ(a.activity.spad_row_writes, b.activity.spad_row_writes);
+    EXPECT_EQ(a.activity.dram_read_bytes, b.activity.dram_read_bytes);
+    EXPECT_EQ(a.activity.dram_write_bytes, b.activity.dram_write_bytes);
+    EXPECT_EQ(a.activity.transposer_groups,
+              b.activity.transposer_groups);
+}
+
+/** Exact (bitwise) equality of two whole-model results. */
+void
+expectSameResult(const ModelRunResult &a, const ModelRunResult &b)
+{
+    EXPECT_EQ(a.model, b.model);
+    for (int op = 0; op < 3; ++op)
+        expectSameOp(a.ops[op], b.ops[op]);
+    expectSameOp(a.total, b.total);
+    EXPECT_EQ(a.energy_base.core_j, b.energy_base.core_j);
+    EXPECT_EQ(a.energy_base.sram_j, b.energy_base.sram_j);
+    EXPECT_EQ(a.energy_base.dram_j, b.energy_base.dram_j);
+    EXPECT_EQ(a.energy_td.core_j, b.energy_td.core_j);
+    EXPECT_EQ(a.energy_td.sram_j, b.energy_td.sram_j);
+    EXPECT_EQ(a.energy_td.dram_j, b.energy_td.dram_j);
+}
+
+/**
+ * The pre-refactor serial driver, reproduced verbatim on the public
+ * API: one shared Accelerator, layers in order, power-gate counters
+ * observed (not frozen) just before each layer's ops.  The task-based
+ * engine must match it bit for bit.
+ */
+ModelRunResult
+serialReference(const RunConfig &config, const ModelProfile &model)
+{
+    ModelRunResult result;
+    result.model = model.name;
+    for (int i = 0; i < 3; ++i)
+        result.ops[i].op = (TrainOp)i;
+
+    AcceleratorConfig accel_cfg = config.accel;
+    accel_cfg.wg_side = model.wg_side;
+    Accelerator accel(accel_cfg);
+
+    Rng rng(config.seed * 0x2545f4914f6cdd1dull + 1);
+    for (const LayerSpec &layer : model.layers) {
+        Rng layer_rng(rng.fork());
+        LayerTensors t = ModelZoo::synthesize(model, layer,
+                                              config.progress,
+                                              layer_rng);
+        accel.powerGate().observe("acts", t.acts.sparsity());
+        accel.powerGate().observe("grads", t.grads.sparsity());
+        accel.powerGate().observe("weights", t.weights.sparsity());
+        const double out_sparsity[3] = {t.acts.sparsity(),
+                                        t.grads.sparsity(), 0.0};
+        for (int i = 0; i < 3; ++i) {
+            OpResult r = accel.runConvOp((TrainOp)i, t.acts, t.weights,
+                                         t.grads, t.spec,
+                                         out_sparsity[i]);
+            result.ops[i].merge(r);
+            result.total.merge(r);
+            result.energy_base.merge(accel.energy(r, false));
+            result.energy_td.merge(accel.energy(r, true));
+        }
+    }
+    return result;
 }
 
 TEST(Runner, EveryModelSpeedsUpAndRespectsTheCap)
@@ -166,6 +248,130 @@ TEST(Runner, TwoDeepStagingIsSlowerButStillWins)
     double s2 = ModelRunner(shallow).runByName("img2txt").speedup();
     EXPECT_GT(s3, s2);
     EXPECT_GT(s2, 1.2);
+}
+
+TEST(RunnerEngine, RunManyBitIdenticalAcrossThreadCounts)
+{
+    // The determinism guarantee: identical results at 1, 2 and 8
+    // threads, including across multiple progress points.
+    const std::vector<ModelProfile> models = {
+        ModelZoo::byName("SqueezeNet"), ModelZoo::byName("AlexNet")};
+    const std::vector<double> points = {0.25, 0.75};
+
+    RunConfig cfg = fastConfig();
+    cfg.threads = 1;
+    SweepResult serial = ModelRunner(cfg).runMany(models, points);
+    ASSERT_EQ(serial.results.size(), 4u);
+
+    for (int threads : {2, 8}) {
+        cfg.threads = threads;
+        SweepResult parallel = ModelRunner(cfg).runMany(models, points);
+        ASSERT_EQ(parallel.results.size(), serial.results.size());
+        for (size_t m = 0; m < serial.modelCount(); ++m)
+            for (size_t p = 0; p < serial.pointCount(); ++p)
+                expectSameResult(parallel.at(m, p), serial.at(m, p));
+    }
+}
+
+TEST(RunnerEngine, MatchesPreRefactorSerialPath)
+{
+    // The task-based engine reproduces the historical single-threaded
+    // interleaved loop bit for bit on a zoo model.
+    RunConfig cfg = fastConfig();
+    ModelProfile model = ModelZoo::byName("SqueezeNet");
+    ModelRunResult want = serialReference(cfg, model);
+    for (int threads : {1, 4}) {
+        cfg.threads = threads;
+        expectSameResult(ModelRunner(cfg).run(model), want);
+    }
+}
+
+TEST(RunnerEngine, GatedRunMatchesPreRefactorSerialPath)
+{
+    // With power gating on, the frozen observe/run phasing must make
+    // the same per-layer decisions the interleaved loop made.
+    RunConfig cfg = fastConfig();
+    cfg.accel.power_gating = true;
+    ModelProfile gcn = ModelZoo::gcn();
+    ModelRunResult want = serialReference(cfg, gcn);
+    for (int threads : {1, 4}) {
+        cfg.threads = threads;
+        expectSameResult(ModelRunner(cfg).run(gcn), want);
+    }
+
+    // The gating must actually have fired: without it the nearly
+    // sparsity-free GCN still ekes out a small speedup.
+    RunConfig ungated = fastConfig();
+    ungated.accel.power_gating = false;
+    EXPECT_LT(want.speedup(), ModelRunner(ungated).run(gcn).speedup());
+}
+
+TEST(RunnerEngine, RunManyGridMatchesIndividualRuns)
+{
+    const std::vector<ModelProfile> models = {
+        ModelZoo::byName("SqueezeNet"), ModelZoo::byName("img2txt")};
+    RunConfig cfg = fastConfig();
+    SweepResult sweep = ModelRunner(cfg).runMany(models);
+    ASSERT_EQ(sweep.modelCount(), 2u);
+    ASSERT_EQ(sweep.pointCount(), 1u);
+    EXPECT_EQ(sweep.progress_points[0], cfg.progress);
+    for (size_t m = 0; m < models.size(); ++m)
+        expectSameResult(sweep.at(m), ModelRunner(cfg).run(models[m]));
+    EXPECT_EQ(sweep.speedups().size(), 2u);
+    EXPECT_GT(sweep.meanSpeedup(), 1.0);
+    EXPECT_GT(sweep.geomeanSpeedup(), 1.0);
+}
+
+TEST(RunnerEngine, EmptyModelPanics)
+{
+    setLogThrowMode(true);
+    ModelProfile empty;
+    empty.name = "empty";
+    ModelRunner runner(fastConfig());
+    EXPECT_THROW(runner.run(empty), SimError);
+    setLogThrowMode(false);
+}
+
+TEST(PowerGatePhasing, FreezeFixesDecisionsAndRejectsObserve)
+{
+    setLogThrowMode(true);
+    PowerGateController gate(0.10);
+    // Observe phase: decisions track the counters as they train.
+    EXPECT_FALSE(gate.frozen());
+    EXPECT_TRUE(gate.enabled("acts")); // unobserved defaults to on
+    gate.observe("acts", 0.40);
+    gate.observe("grads", 0.02);
+    gate.freeze();
+    // Run phase: frozen decisions are readable but immutable.
+    EXPECT_TRUE(gate.frozen());
+    EXPECT_TRUE(gate.enabled("acts"));
+    EXPECT_FALSE(gate.enabled("grads"));
+    EXPECT_EQ(gate.lastObserved("acts"), 0.40);
+    EXPECT_THROW(gate.observe("acts", 0.9), SimError);
+    // clear() returns to the observe phase.
+    gate.clear();
+    EXPECT_FALSE(gate.frozen());
+    EXPECT_TRUE(gate.enabled("grads"));
+    setLogThrowMode(false);
+}
+
+TEST(PowerGatePhasing, FreezeFromLoadsAnObservationTable)
+{
+    setLogThrowMode(true);
+    PowerGateController source(0.10);
+    source.observe("acts", 0.30);
+    source.observe("grads", 0.01);
+    GateObservations table = source.observations();
+
+    PowerGateController gate(0.10);
+    gate.freezeFrom(table);
+    EXPECT_TRUE(gate.frozen());
+    EXPECT_TRUE(gate.enabled("acts"));
+    EXPECT_FALSE(gate.enabled("grads"));
+    EXPECT_TRUE(gate.enabled("weights")); // absent from the table
+    // Re-freezing a frozen controller is a phasing bug.
+    EXPECT_THROW(gate.freezeFrom(table), SimError);
+    setLogThrowMode(false);
 }
 
 } // namespace
