@@ -1,5 +1,6 @@
 #include "core/runner.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -34,6 +35,13 @@ struct SimTask
 {
     size_t unit;
     size_t layer;
+
+    /** Position in the serial (unit, layer) grid: where results land,
+     * fixed before tasks are reordered for load balancing. */
+    size_t slot;
+
+    /** Estimated dense MACs (claim-order sort key). */
+    uint64_t est_macs;
 };
 
 /** What one (layer, op) produces; reduced in serial order afterwards. */
@@ -184,11 +192,23 @@ ModelRunner::runMany(std::span<const ModelProfile> models,
             unit.progress = progress;
             unit.first_task = tasks.size();
             unit.layer_rngs = &model_rngs[m];
-            for (size_t l = 0; l < model.layers.size(); ++l)
-                tasks.push_back({units.size(), l});
+            for (size_t l = 0; l < model.layers.size(); ++l) {
+                uint64_t macs = model.layers[l].macsPerSample() *
+                                (uint64_t)model.batch;
+                tasks.push_back({units.size(), l, tasks.size(), macs});
+            }
             units.push_back(unit);
         }
     }
+
+    // Load balancing: claim the costliest layers first so a huge layer
+    // picked up late cannot leave the pool tailing on one thread.
+    // Results land in pre-assigned slots and the reduce below walks
+    // serial order, so the claim order never affects the output.
+    std::stable_sort(tasks.begin(), tasks.end(),
+                     [](const SimTask &a, const SimTask &b) {
+                         return a.est_macs > b.est_macs;
+                     });
 
     ThreadPool &pool = ThreadPool::shared();
 
@@ -199,7 +219,7 @@ ModelRunner::runMany(std::span<const ModelProfile> models,
         tasks.size(),
         [&](size_t i) {
             simulateTask(config_, units[tasks[i].unit], tasks[i],
-                         &grid[i * 3]);
+                         &grid[tasks[i].slot * 3]);
         },
         config_.threads);
 
@@ -209,6 +229,7 @@ ModelRunner::runMany(std::span<const ModelProfile> models,
     for (const SweepUnit &unit : units) {
         ModelRunResult result;
         result.model = unit.model->name;
+        result.memory_model = config_.accel.memory_model;
         for (int i = 0; i < 3; ++i)
             result.ops[i].op = (TrainOp)i;
         for (size_t l = 0; l < unit.model->layers.size(); ++l) {

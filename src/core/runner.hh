@@ -14,7 +14,9 @@
  * Execution is task-based: every layer becomes one stateless
  * simulation task (synthesize -> lower -> simulate its three training
  * convolutions -> reduce) on the shared ThreadPool, each with its own
- * Accelerator instance.
+ * Accelerator instance.  Tasks are claimed costliest-first (estimated
+ * dense MACs) so skewed layer costs cannot leave the pool tailing on
+ * one straggler.
  * Per-layer Rng streams are forked serially up front and results are
  * merged in serial (layer, op) order, so a run is bit-identical at any
  * thread count.  With power gating enabled, each task observes its
@@ -36,6 +38,13 @@ namespace tensordash {
 /** Configuration of one model-level run. */
 struct RunConfig
 {
+    /**
+     * Accelerator configuration, including the memory-model switch
+     * (accel.memory_model): Pipelined (the default) resolves DRAM/DMA
+     * contention into cycles through the MemoryPipeline; Analytic
+     * reproduces the published evaluation exactly, charging traffic
+     * for energy only.
+     */
     AcceleratorConfig accel;
 
     /** Training progress in [0, 1] driving the temporal profile. */
@@ -56,6 +65,9 @@ struct RunConfig
 struct ModelRunResult
 {
     std::string model;
+
+    /** Memory model the run was simulated under. */
+    MemoryModel memory_model = MemoryModel::Pipelined;
 
     /** Per-op aggregates in TrainOp order (AxW, AxG, WxG). */
     std::array<OpResult, 3> ops;
@@ -82,6 +94,19 @@ struct ModelRunResult
     }
 
     double totalPotential() const { return total.potentialSpeedup(); }
+
+    /**
+     * Fraction of the whole run's TensorDash cycles stalled on
+     * off-chip bandwidth (0 under the Analytic memory model).
+     */
+    double
+    memoryStallFraction() const
+    {
+        return total.memoryStallFraction();
+    }
+
+    /** True when any layer's steady state was DRAM-limited. */
+    bool memoryBound() const { return total.memory_bound; }
 
     /** Compute-logic energy efficiency (paper Fig. 15 "core"). */
     double

@@ -119,31 +119,69 @@ Accelerator::runConvOp(TrainOp op, const Tensor &acts,
     }
 
     OpResult result = runOp(lowered, gate_key);
-    chargeMemory(result, lowered, in0_nz, in0_total, in1_nz, in1_total,
-                 out_total, out_sparsity, transposed);
+    applyMemory(result, memoryDemand(in0_nz, in0_total, in1_nz,
+                                     in1_total, out_total, out_sparsity,
+                                     transposed));
     return result;
 }
 
-void
-Accelerator::chargeMemory(OpResult &result, const LoweredOp &lowered,
-                          uint64_t in0_nz, uint64_t in0_total,
+Accelerator::OpMemoryDemand
+Accelerator::memoryDemand(uint64_t in0_nz, uint64_t in0_total,
                           uint64_t in1_nz, uint64_t in1_total,
                           uint64_t out_total, double out_sparsity,
                           uint64_t transposed_values) const
 {
-    (void)lowered;
     int vb = dataTypeBytes(config_.dtype);
     // Inputs stream in once per op, outputs stream out once; both are
     // CompressingDMA zero-compressed (baseline and TensorDash alike).
-    result.activity.dram_read_bytes =
-        (double)CompressingDma::compressedBytes(in0_nz, in0_total, vb) +
-        (double)CompressingDma::compressedBytes(in1_nz, in1_total, vb);
+    OpMemoryDemand demand;
+    demand.dram_read_bytes =
+        CompressingDma::demandBytes(in0_nz, in0_total, vb) +
+        CompressingDma::demandBytes(in1_nz, in1_total, vb);
     auto out_nz = (uint64_t)((double)out_total *
                              std::clamp(1.0 - out_sparsity, 0.0, 1.0));
-    result.activity.dram_write_bytes =
-        (double)CompressingDma::compressedBytes(out_nz, out_total, vb);
-    result.activity.transposer_groups =
+    demand.dram_write_bytes =
+        CompressingDma::demandBytes(out_nz, out_total, vb);
+    demand.transposer_groups =
         (double)transposed_values / (kGroupDim * kGroupDim);
+    return demand;
+}
+
+void
+Accelerator::applyMemory(OpResult &result,
+                         const OpMemoryDemand &demand) const
+{
+    result.activity.dram_read_bytes = demand.dram_read_bytes;
+    result.activity.dram_write_bytes = demand.dram_write_bytes;
+    result.activity.transposer_groups = demand.transposer_groups;
+    if (config_.memory_model == MemoryModel::Analytic) {
+        // Published-evaluation assumption: the streaming dataflow hides
+        // off-chip latency, so traffic costs energy but never cycles.
+        return;
+    }
+
+    MemoryPipeline pipeline(config_.mem_pipeline, config_.dram,
+                            config_.freq_ghz);
+    StageDemands stages;
+    stages.dma_in_bytes = demand.dram_read_bytes;
+    stages.transpose_groups = demand.transposer_groups;
+    stages.dma_out_bytes = demand.dram_write_bytes;
+
+    // The baseline and TensorDash move identical traffic; only the
+    // TileCompute stage differs, so a memory-bound interval caps both
+    // at the same DRAM time and the speedup collapses towards 1.
+    stages.compute_cycles = result.base_cycles;
+    PipelineTiming base = pipeline.resolve(stages);
+    stages.compute_cycles = result.td_cycles;
+    PipelineTiming td = pipeline.resolve(stages);
+
+    result.base_mem_stall_cycles = base.mem_stall_cycles;
+    result.td_mem_stall_cycles = td.mem_stall_cycles;
+    result.memory_bound = td.memory_bound;
+    result.base_cycles = base.cycles;
+    result.td_cycles = td.cycles;
+    result.activity.cycles = result.td_cycles;
+    result.activity.dram_busy_cycles = td.dram_busy_cycles;
 }
 
 Tensor

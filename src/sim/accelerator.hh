@@ -10,7 +10,10 @@
  * The accelerator runs lowered training operations: tile jobs are
  * distributed round-robin across tiles, cycle counts are estimated from
  * sampled jobs (weights scale them back to the full layer), and memory
- * traffic is charged analytically from the tensors involved.
+ * traffic either rides the staged MemoryPipeline (DmaIn -> Transpose ->
+ * TileCompute -> DmaOut, resolved against DRAM bandwidth so a layer can
+ * be memory bound in cycles) or, in the Analytic model, is charged for
+ * energy only exactly as the paper's evaluation assumes.
  */
 
 #include <cstdint>
@@ -19,6 +22,7 @@
 #include "sim/dataflow.hh"
 #include "sim/energy.hh"
 #include "sim/memory/dram.hh"
+#include "sim/memory/pipeline.hh"
 #include "sim/power_gate.hh"
 #include "sim/tile.hh"
 #include "tensor/conv_ref.hh"
@@ -35,6 +39,15 @@ struct AcceleratorConfig
     double freq_ghz = 0.5;
     DramConfig dram;
     EnergyConstants energy;
+
+    /**
+     * How off-chip traffic affects cycle counts.  Pipelined resolves
+     * DRAM/DMA contention per streaming interval; Analytic charges
+     * traffic for energy only (exact reproduction of the published
+     * evaluation, which assumes latency is hidden).
+     */
+    MemoryModel memory_model = MemoryModel::Pipelined;
+    MemoryPipelineConfig mem_pipeline;
 
     /** Per-op dense-MAC sampling cap (0 = exhaustive). */
     uint64_t max_sampled_macs = 1500000;
@@ -96,9 +109,20 @@ struct OpResult
 {
     TrainOp op = TrainOp::Forward;
 
-    /** Accelerator cycles (weighted to the full layer, all tiles). */
+    /** Accelerator cycles (weighted to the full layer, all tiles).
+     * Under the Pipelined memory model these are end-to-end cycles,
+     * max(compute, memory) per streaming interval; under Analytic they
+     * are compute-only. */
     double base_cycles = 0.0;
     double td_cycles = 0.0;
+
+    /** Cycles added over the compute-only estimate by off-chip
+     * traffic (always 0 under the Analytic memory model). */
+    double base_mem_stall_cycles = 0.0;
+    double td_mem_stall_cycles = 0.0;
+
+    /** True when any merged op's steady state was DRAM-limited. */
+    bool memory_bound = false;
 
     /** Work-reduction potential on the scheduled side (Fig. 1). */
     double b_nonzero_slots = 0.0;
@@ -127,11 +151,21 @@ struct OpResult
                                      : 1.0;
     }
 
+    /** Fraction of TensorDash cycles stalled on off-chip traffic. */
+    double
+    memoryStallFraction() const
+    {
+        return td_cycles > 0.0 ? td_mem_stall_cycles / td_cycles : 0.0;
+    }
+
     void
     merge(const OpResult &o)
     {
         base_cycles += o.base_cycles;
         td_cycles += o.td_cycles;
+        base_mem_stall_cycles += o.base_mem_stall_cycles;
+        td_mem_stall_cycles += o.td_mem_stall_cycles;
+        memory_bound = memory_bound || o.memory_bound;
         b_nonzero_slots += o.b_nonzero_slots;
         b_total_slots += o.b_total_slots;
         mac_slots += o.mac_slots;
@@ -198,11 +232,24 @@ class Accelerator
     const EnergyModel &energyModel() const { return energy_model_; }
 
   private:
-    void chargeMemory(OpResult &result, const LoweredOp &lowered,
-                      uint64_t in0_nz, uint64_t in0_total,
-                      uint64_t in1_nz, uint64_t in1_total,
-                      uint64_t out_total, double out_sparsity,
-                      uint64_t transposed_values) const;
+    /** Off-chip traffic of one op, identical for baseline and
+     * TensorDash (both CompressingDMA-compress their transfers). */
+    struct OpMemoryDemand
+    {
+        double dram_read_bytes = 0.0;
+        double dram_write_bytes = 0.0;
+        double transposer_groups = 0.0;
+    };
+
+    OpMemoryDemand memoryDemand(uint64_t in0_nz, uint64_t in0_total,
+                                uint64_t in1_nz, uint64_t in1_total,
+                                uint64_t out_total, double out_sparsity,
+                                uint64_t transposed_values) const;
+
+    /** Charge @p demand to the result: energy-only traffic under
+     * Analytic, pipelined cycle resolution under Pipelined. */
+    void applyMemory(OpResult &result,
+                     const OpMemoryDemand &demand) const;
 
     AcceleratorConfig config_;
     /** Scratch-carrying cycle model; results don't depend on it. */

@@ -21,7 +21,13 @@ namespace tensordash {
 /** Activity of one run (sampling weights already applied). */
 struct RunActivity
 {
+    /** TensorDash cycles; under the Pipelined memory model these are
+     * end-to-end (memory stalls included), keeping the time-dependent
+     * energy terms consistent with the cycle counts. */
     double cycles = 0.0;
+
+    /** Cycles the DRAM bus was occupied (Pipelined model only). */
+    double dram_busy_cycles = 0.0;
 
     /** 16-value block accesses against the shared AM/BM/CM SRAMs. */
     double sram_block_reads = 0.0;
@@ -42,6 +48,7 @@ struct RunActivity
     merge(const RunActivity &o)
     {
         cycles += o.cycles;
+        dram_busy_cycles += o.dram_busy_cycles;
         sram_block_reads += o.sram_block_reads;
         sram_block_writes += o.sram_block_writes;
         spad_row_reads += o.spad_row_reads;

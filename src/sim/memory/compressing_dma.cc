@@ -83,6 +83,8 @@ uint64_t
 CompressingDma::compressedBytes(uint64_t nonzeros, uint64_t total,
                                 int value_bytes)
 {
+    TD_ASSERT(nonzeros <= total, "nonzeros %llu exceed total %llu",
+              (unsigned long long)nonzeros, (unsigned long long)total);
     uint64_t blocks = (total + kBlock - 1) / kBlock;
     return blocks * 2 + nonzeros * (uint64_t)value_bytes;
 }
@@ -91,6 +93,13 @@ uint64_t
 CompressingDma::compressedBytes(const Tensor &tensor, int value_bytes)
 {
     return compressedBytes(tensor.nonzeros(), tensor.size(), value_bytes);
+}
+
+double
+CompressingDma::demandBytes(uint64_t nonzeros, uint64_t total,
+                            int value_bytes)
+{
+    return (double)compressedBytes(nonzeros, total, value_bytes);
 }
 
 } // namespace tensordash

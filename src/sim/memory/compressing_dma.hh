@@ -62,6 +62,13 @@ class CompressingDma
     static uint64_t compressedBytes(const Tensor &tensor,
                                     int value_bytes = 4);
 
+    /**
+     * Streaming demand one DMA transfer places on the memory pipeline,
+     * in bytes (compressedBytes as the double the pipeline consumes).
+     */
+    static double demandBytes(uint64_t nonzeros, uint64_t total,
+                              int value_bytes = 4);
+
     /** Dense (uncompressed) size. */
     static uint64_t
     denseBytes(uint64_t total, int value_bytes = 4)

@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
+
 namespace tensordash {
 
 /** Configuration of the off-chip memory system. */
@@ -35,6 +37,14 @@ class DramModel
     explicit DramModel(const DramConfig &config = DramConfig{})
         : config_(config)
     {
+        TD_ASSERT(config.channels >= 1, "DRAM needs >= 1 channel, got %d",
+                  config.channels);
+        TD_ASSERT(config.mega_transfers > 0.0,
+                  "non-positive DRAM transfer rate %f MT/s",
+                  config.mega_transfers);
+        TD_ASSERT(config.channel_bytes > 0.0,
+                  "non-positive DRAM channel width %f bytes",
+                  config.channel_bytes);
     }
 
     const DramConfig &config() const { return config_; }
@@ -57,6 +67,7 @@ class DramModel
     double
     bytesPerCycle(double freq_ghz) const
     {
+        TD_ASSERT(freq_ghz > 0.0, "non-positive clock %f GHz", freq_ghz);
         return bandwidthBytesPerSec() / (freq_ghz * 1e9);
     }
 

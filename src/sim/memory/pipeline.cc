@@ -1,0 +1,97 @@
+#include "sim/memory/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+const char *
+memoryModelName(MemoryModel model)
+{
+    switch (model) {
+      case MemoryModel::Analytic:
+        return "analytic";
+      case MemoryModel::Pipelined:
+        return "pipelined";
+    }
+    TD_PANIC("unknown memory model %d", (int)model);
+    return "?";
+}
+
+MemoryPipeline::MemoryPipeline(const MemoryPipelineConfig &config,
+                               const DramConfig &dram, double freq_ghz)
+    : config_(config), dram_(dram),
+      staging_("AM", config.staging_bytes, config.staging_banks, 64),
+      freq_ghz_(freq_ghz)
+{
+    TD_ASSERT(freq_ghz > 0.0, "non-positive clock %f GHz", freq_ghz);
+    TD_ASSERT(config.chunk_bytes > 0.0, "non-positive streaming chunk");
+    TD_ASSERT(config.transposers >= 1, "need at least one transposer");
+    // Chunks are double-buffered in the staging SRAM: one half streams
+    // in while the tiles consume the other.
+    chunk_bytes_ = std::min(config.chunk_bytes,
+                            (double)staging_.streamChunkBytes());
+    TD_ASSERT(chunk_bytes_ > 0.0,
+              "staging SRAM too small to stream (%llu bytes)",
+              (unsigned long long)config.staging_bytes);
+    TD_ASSERT(staging_.occupancy((uint64_t)(2.0 * chunk_bytes_)) <= 1.0,
+              "double-buffered chunks exceed the staging SRAM");
+}
+
+double
+MemoryPipeline::bytesPerCycle() const
+{
+    return dram_.bytesPerCycle(freq_ghz_);
+}
+
+int
+MemoryPipeline::intervalsFor(const StageDemands &demands) const
+{
+    double traffic = demands.dma_in_bytes + demands.dma_out_bytes;
+    if (traffic <= chunk_bytes_)
+        return 1;
+    return (int)std::ceil(traffic / chunk_bytes_);
+}
+
+PipelineTiming
+MemoryPipeline::resolve(const StageDemands &demands) const
+{
+    TD_ASSERT(demands.dma_in_bytes >= 0.0 &&
+              demands.dma_out_bytes >= 0.0 &&
+              demands.transpose_groups >= 0.0 &&
+              demands.compute_cycles >= 0.0,
+              "negative stage demand");
+
+    PipelineTiming t;
+    t.intervals = intervalsFor(demands);
+
+    double n = (double)t.intervals;
+    double bpc = bytesPerCycle();
+    t.steady.dma_in = demands.dma_in_bytes / bpc / n;
+    t.steady.dma_out = demands.dma_out_bytes / bpc / n;
+    t.steady.transpose =
+        demands.transpose_groups /
+        Transposer::throughputGroupsPerCycle(config_.transposers) / n;
+    t.steady.compute = demands.compute_cycles / n;
+
+    // Fill: the first chunk must land in the staging SRAM and pass the
+    // transposers before any tile can compute on it.  Drain: the last
+    // chunk's outputs stream out after its compute finishes.  Every
+    // other interval overlaps with its neighbours and costs the
+    // bottleneck stage.
+    t.fill_cycles = t.steady.dma_in + t.steady.transpose;
+    t.drain_cycles = t.steady.dma_out;
+    t.cycles = t.fill_cycles + demands.compute_cycles + t.drain_cycles +
+               (n - 1.0) * (t.steady.bottleneck() - t.steady.compute);
+    t.mem_stall_cycles = t.cycles - demands.compute_cycles;
+    t.dram_busy_cycles =
+        (demands.dma_in_bytes + demands.dma_out_bytes) / bpc;
+    t.memory_bound = t.steady.dram() > 0.0 &&
+                     t.steady.dram() >= t.steady.compute &&
+                     t.steady.dram() >= t.steady.transpose;
+    return t;
+}
+
+} // namespace tensordash

@@ -1,0 +1,189 @@
+#ifndef TENSORDASH_SIM_MEMORY_PIPELINE_HH_
+#define TENSORDASH_SIM_MEMORY_PIPELINE_HH_
+
+/**
+ * @file
+ * Pipelined off-chip memory model: DMA/DRAM contention in cycles.
+ *
+ * The paper's evaluation assumes the deeply-buffered streaming dataflow
+ * hides off-chip latency, so memory traffic is charged analytically for
+ * energy only and a layer can never be memory bound in cycles.  That
+ * assumption breaks exactly where TensorDash's compute speedup stops
+ * paying: once the MAC array outruns the LPDDR4 channels, both the
+ * baseline and TensorDash saturate on bandwidth (the arXiv extension of
+ * TensorDash and SparseTrain both report this regime).
+ *
+ * MemoryPipeline models the per-op execution as four staged, chunked,
+ * double-buffered phases
+ *
+ *   DmaIn -> Transpose -> TileCompute -> DmaOut
+ *
+ * The op's traffic is split into streaming intervals of one staging
+ * chunk each; within a steady-state interval the DmaIn and DmaOut
+ * stages contend for the shared DRAM bus while Transpose and
+ * TileCompute run on their own hardware, so an interval takes
+ * max(compute, dram, transpose) cycles.  The pipeline fills with the
+ * first chunk's DmaIn + Transpose and drains with the last chunk's
+ * DmaOut:
+ *
+ *   cycles = fill + drain + per-interval sum of the compute stage
+ *          + (intervals - 1) x bottleneck
+ *
+ * With one interval this degenerates to the fully serial sum; with many
+ * it approaches intervals x bottleneck, i.e. max(compute, memory) per
+ * interval.
+ */
+
+#include <cstdint>
+
+#include "sim/memory/dram.hh"
+#include "sim/memory/sram.hh"
+#include "sim/memory/transposer.hh"
+
+namespace tensordash {
+
+/** How off-chip traffic affects an op's cycle count. */
+enum class MemoryModel
+{
+    /**
+     * Traffic is charged for energy only; cycles are compute-only
+     * (the paper's published-evaluation assumption).  Kept for exact
+     * reproduction of Figs. 13-21.
+     */
+    Analytic,
+    /** Traffic is resolved against DRAM bandwidth by MemoryPipeline. */
+    Pipelined,
+};
+
+/** @return "analytic" or "pipelined". */
+const char *memoryModelName(MemoryModel model);
+
+/** Per-op demand each stage reports to the pipeline (full-layer). */
+struct StageDemands
+{
+    /** DmaIn: CompressingDMA-compressed operand bytes streamed in. */
+    double dma_in_bytes = 0.0;
+
+    /** Transpose: 16x16 groups re-laid-out between SRAM and tiles. */
+    double transpose_groups = 0.0;
+
+    /** TileCompute: all-tile cycles (baseline or TensorDash). */
+    double compute_cycles = 0.0;
+
+    /** DmaOut: compressed write-back bytes streamed out. */
+    double dma_out_bytes = 0.0;
+};
+
+/** Steady-state per-interval stage occupancy, in cycles. */
+struct StageCycles
+{
+    double dma_in = 0.0;
+    double transpose = 0.0;
+    double compute = 0.0;
+    double dma_out = 0.0;
+
+    /** DRAM bus occupancy: DmaIn and DmaOut serialise on it. */
+    double dram() const { return dma_in + dma_out; }
+
+    /** Slowest stage: what a steady-state interval costs. */
+    double
+    bottleneck() const
+    {
+        double b = dram();
+        if (transpose > b)
+            b = transpose;
+        if (compute > b)
+            b = compute;
+        return b;
+    }
+};
+
+/** Resolved timing of one op through the pipeline. */
+struct PipelineTiming
+{
+    /** End-to-end cycles (fill + steady intervals + drain). */
+    double cycles = 0.0;
+
+    /** Cycles added over the compute-only estimate (>= 0). */
+    double mem_stall_cycles = 0.0;
+
+    /** Total cycles the DRAM bus is occupied. */
+    double dram_busy_cycles = 0.0;
+
+    /** First chunk's DmaIn + Transpose before compute can start. */
+    double fill_cycles = 0.0;
+
+    /** Last chunk's DmaOut after compute ends. */
+    double drain_cycles = 0.0;
+
+    /** Streaming intervals the traffic was chopped into. */
+    int intervals = 1;
+
+    /** True when the steady-state bottleneck is the DRAM bus. */
+    bool memory_bound = false;
+
+    /** Per-interval stage occupancy behind the verdict. */
+    StageCycles steady;
+};
+
+/** Static configuration of the memory pipeline. */
+struct MemoryPipelineConfig
+{
+    /**
+     * Streaming granularity in bytes: one double-buffer refill of the
+     * staging SRAM.  Clamped to what the staging array can actually
+     * hold double-buffered (SramArray::streamChunkBytes).
+     */
+    double chunk_bytes = 128.0 * 1024.0;
+
+    /** Staging SRAM backing the chunks (paper Table 2: one 256KB AM
+     * bank group, 4 banks, 64B blocks). */
+    uint64_t staging_bytes = 256 * 1024;
+    int staging_banks = 4;
+
+    /** Transposer units shared by all tiles (paper Table 2: 15). */
+    int transposers = 15;
+};
+
+/**
+ * Resolves per-op stage demands against off-chip bandwidth.
+ *
+ * Stateless after construction; resolve() is const and pure, so one
+ * instance may be shared freely (the Accelerator builds one per op).
+ */
+class MemoryPipeline
+{
+  public:
+    /**
+     * @param config   pipeline geometry
+     * @param dram     off-chip channel configuration (bandwidth)
+     * @param freq_ghz accelerator clock the cycles are counted in
+     */
+    MemoryPipeline(const MemoryPipelineConfig &config,
+                   const DramConfig &dram, double freq_ghz);
+
+    const MemoryPipelineConfig &config() const { return config_; }
+
+    /** Chunk size after clamping to the staging SRAM (bytes). */
+    double effectiveChunkBytes() const { return chunk_bytes_; }
+
+    /** Off-chip bytes deliverable per accelerator cycle. */
+    double bytesPerCycle() const;
+
+    /** Streaming intervals @p demands is chopped into (>= 1). */
+    int intervalsFor(const StageDemands &demands) const;
+
+    /** Resolve one op's demands into end-to-end cycles. */
+    PipelineTiming resolve(const StageDemands &demands) const;
+
+  private:
+    MemoryPipelineConfig config_;
+    DramModel dram_;
+    SramArray staging_;
+    double freq_ghz_;
+    double chunk_bytes_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_SIM_MEMORY_PIPELINE_HH_

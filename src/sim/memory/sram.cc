@@ -9,10 +9,17 @@ SramArray::SramArray(std::string name, uint64_t bytes, int banks,
     : name_(std::move(name)), bytes_(bytes), banks_(banks),
       block_bytes_(block_bytes)
 {
+    TD_ASSERT(bytes >= 1, "SRAM needs nonzero capacity");
     TD_ASSERT(banks >= 1, "SRAM needs at least one bank");
     TD_ASSERT(block_bytes >= 1, "bad SRAM block size");
     TD_ASSERT(bytes % (uint64_t)banks == 0,
               "SRAM capacity must divide evenly across banks");
+}
+
+double
+SramArray::occupancy(uint64_t bytes) const
+{
+    return (double)bytes / (double)bytes_;
 }
 
 } // namespace tensordash

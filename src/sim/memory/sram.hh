@@ -57,6 +57,18 @@ class SramArray
      */
     int blocksPerCycle() const { return banks_; }
 
+    /**
+     * Occupancy of the array with @p bytes resident, as a fraction of
+     * capacity (may exceed 1 when the demand does not fit).
+     */
+    double occupancy(uint64_t bytes) const;
+
+    /**
+     * Largest streaming chunk this array can stage double-buffered:
+     * half the capacity streams in while the other half is consumed.
+     */
+    uint64_t streamChunkBytes() const { return bytes_ / 2; }
+
     void
     resetStats()
     {

@@ -4,6 +4,13 @@
 
 namespace tensordash {
 
+double
+Transposer::throughputGroupsPerCycle(int units)
+{
+    TD_ASSERT(units >= 1, "need at least one transposer unit");
+    return (double)units / (double)kCyclesPerGroup;
+}
+
 Transposer::Transposer(int buffer_bytes) : buffer_bytes_(buffer_bytes)
 {
     // The internal buffer must hold one full group.
@@ -22,7 +29,7 @@ Transposer::transpose(const ValueGroup &in)
     ++groups_;
     block_reads_ += kGroupDim;
     blocks_served_ += kGroupDim;
-    cycles_ += 2 * kGroupDim; // load phase + serve phase
+    cycles_ += kCyclesPerGroup; // load phase + serve phase
     return out;
 }
 

@@ -37,6 +37,15 @@ struct ValueGroup
 class Transposer
 {
   public:
+    /** Cycles one unit spends per group: 16 block loads + 16 serves. */
+    static constexpr uint64_t kCyclesPerGroup = 2 * kGroupDim;
+
+    /**
+     * Aggregate throughput of @p units transposers in groups per
+     * cycle; the memory pipeline sizes its Transpose stage with this.
+     */
+    static double throughputGroupsPerCycle(int units);
+
     /** Buffer capacity in bytes (paper Table 2: 1KB). */
     explicit Transposer(int buffer_bytes = 1024);
 

@@ -44,6 +44,11 @@ smallConfig()
     AcceleratorConfig cfg;
     cfg.tiles = 4;
     cfg.max_sampled_macs = 300000;
+    // These tests pin down the compute model (tile cycles, speedup
+    // bounds, exact tile-count scaling), so they run with the analytic
+    // memory charge; the pipelined model has its own suite in
+    // test_memory_pipeline.cc.
+    cfg.memory_model = MemoryModel::Analytic;
     return cfg;
 }
 

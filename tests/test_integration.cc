@@ -161,6 +161,8 @@ TEST(Integration, AutoSideExploitsPrunedWeightsInForward)
     AcceleratorConfig fixed;
     fixed.tiles = 2;
     fixed.max_sampled_macs = 200000;
+    // Compares compute speedups; memory stalls would dilute both.
+    fixed.memory_model = MemoryModel::Analytic;
     AcceleratorConfig autos = fixed;
     autos.fwd_side = FwdSide::Auto;
     Accelerator a_fixed(fixed), a_auto(autos);
@@ -180,6 +182,10 @@ class ConfigInvariants : public ::testing::TestWithParam<int>
 
 TEST_P(ConfigInvariants, SpeedupBoundsHoldEverywhere)
 {
+    // Runs under the default Pipelined memory model on purpose: the
+    // speedup bounds must survive memory stalls too (stalls cap both
+    // the baseline and TensorDash at the same DRAM time, so they can
+    // only pull the ratio towards 1, never outside [1, depth]).
     int seed = GetParam();
     Rng rng((uint64_t)seed * 7919);
     AcceleratorConfig cfg;

@@ -171,6 +171,49 @@ TEST(Dma, DenseDataCostsMaskOverheadOnly)
     EXPECT_EQ(compressed, dense + 100 * 2); // 100 blocks x 2B mask
 }
 
+TEST(Dma, ZeroElementTensorCostsNothing)
+{
+    EXPECT_EQ(CompressingDma::compressedBytes(0, 0, 4), 0u);
+    EXPECT_EQ(CompressingDma::compressedBytes(0, 0, 2), 0u);
+    EXPECT_EQ(CompressingDma::demandBytes(0, 0, 4), 0.0);
+    // The codec agrees: an empty buffer encodes to an empty stream.
+    auto stream = CompressingDma::compress({}, 4);
+    EXPECT_TRUE(stream.empty());
+    EXPECT_TRUE(CompressingDma::decompress(stream, 0, 4).empty());
+}
+
+TEST(Dma, FullySparseCostsMasksOnly)
+{
+    // 1600 zeros = 100 blocks, each paying only its 2B mask.
+    EXPECT_EQ(CompressingDma::compressedBytes(0, 1600, 4), 200u);
+    // Width of the (absent) values is irrelevant.
+    EXPECT_EQ(CompressingDma::compressedBytes(0, 1600, 2), 200u);
+    std::vector<float> zeros(1600, 0.0f);
+    EXPECT_EQ(CompressingDma::compress(zeros, 4).size(), 200u);
+}
+
+TEST(Dma, PartialTrailingBlockStillPaysAFullMask)
+{
+    // 17 values = 2 blocks; the 1-value tail block pays a full mask.
+    EXPECT_EQ(CompressingDma::compressedBytes(17, 17, 4),
+              2u * 2u + 17u * 4u);
+    EXPECT_EQ(CompressingDma::compressedBytes(1, 1, 4), 2u + 4u);
+}
+
+TEST(Dma, DemandBytesMatchesCompressedBytes)
+{
+    EXPECT_EQ(CompressingDma::demandBytes(1600, 16000, 4),
+              (double)CompressingDma::compressedBytes(1600, 16000, 4));
+}
+
+TEST(Dma, RejectsMoreNonzerosThanValues)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(CompressingDma::compressedBytes(17, 16, 4), SimError);
+    EXPECT_THROW(CompressingDma::demandBytes(17, 16, 4), SimError);
+    setLogThrowMode(false);
+}
+
 TEST(Dma, CompressesTensors)
 {
     Rng rng(7);
@@ -200,6 +243,71 @@ TEST(Dram, BandwidthMatchesTable2)
     // At 500 MHz: 51.2 bytes per accelerator cycle.
     EXPECT_NEAR(dram.bytesPerCycle(0.5), 51.2, 1e-9);
     EXPECT_NEAR(dram.transferCycles(5120.0, 0.5), 100.0, 1e-9);
+}
+
+TEST(Dram, BandwidthScalesWithEveryChannelParameter)
+{
+    DramConfig cfg;
+    cfg.channels = 8;
+    EXPECT_NEAR(DramModel(cfg).bandwidthBytesPerSec(), 51.2e9, 1e6);
+    cfg.channels = 4;
+    cfg.mega_transfers = 1600.0;
+    EXPECT_NEAR(DramModel(cfg).bandwidthBytesPerSec(), 12.8e9, 1e6);
+    cfg.mega_transfers = 3200.0;
+    cfg.channel_bytes = 4.0;
+    EXPECT_NEAR(DramModel(cfg).bandwidthBytesPerSec(), 51.2e9, 1e6);
+    // Transfer time is inversely proportional to bandwidth.
+    EXPECT_NEAR(DramModel(cfg).transferCycles(1024.0, 0.5),
+                DramModel().transferCycles(1024.0, 0.5) / 2.0, 1e-9);
+}
+
+TEST(Dram, RejectsInvalidConfig)
+{
+    setLogThrowMode(true);
+    DramConfig cfg;
+    cfg.channels = 0;
+    EXPECT_THROW(DramModel{cfg}, SimError);
+    cfg = DramConfig{};
+    cfg.mega_transfers = 0.0;
+    EXPECT_THROW(DramModel{cfg}, SimError);
+    cfg = DramConfig{};
+    cfg.channel_bytes = -2.0;
+    EXPECT_THROW(DramModel{cfg}, SimError);
+    setLogThrowMode(false);
+}
+
+TEST(Dram, RejectsNonPositiveFrequency)
+{
+    setLogThrowMode(true);
+    DramModel dram;
+    EXPECT_THROW(dram.bytesPerCycle(0.0), SimError);
+    EXPECT_THROW(dram.transferCycles(1024.0, -0.5), SimError);
+    setLogThrowMode(false);
+}
+
+TEST(Sram, OccupancyAndStreamingInterfaces)
+{
+    SramArray am("AM", 256 * 1024, 4, 64);
+    EXPECT_DOUBLE_EQ(am.occupancy(128 * 1024), 0.5);
+    EXPECT_GT(am.occupancy(512 * 1024), 1.0); // does not fit
+    EXPECT_EQ(am.streamChunkBytes(), 128u * 1024u);
+}
+
+TEST(Sram, RejectsZeroCapacity)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(SramArray("X", 0, 4, 64), SimError);
+    setLogThrowMode(false);
+}
+
+TEST(Transposer, AggregateThroughput)
+{
+    // One unit retires a group every 32 cycles (16 loads + 16 serves);
+    // the paper's 15 units deliver 15/32 groups per cycle.
+    EXPECT_EQ(Transposer::kCyclesPerGroup, 32u);
+    EXPECT_DOUBLE_EQ(Transposer::throughputGroupsPerCycle(1), 1.0 / 32);
+    EXPECT_DOUBLE_EQ(Transposer::throughputGroupsPerCycle(15),
+                     15.0 / 32);
 }
 
 TEST(Dram, EnergyAccounting)
