@@ -15,6 +15,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/tensordash.hh"
 
@@ -62,45 +64,78 @@ defaultRunConfig()
 
 /**
  * Shared command line of the figure benches.  Every fig binary accepts
- * the same three options so sweeps can be scripted uniformly:
+ * the same base options so sweeps can be scripted uniformly:
  *
- *   --threads N  simulation parallelism (default: TD_THREADS or all
- *                cores; the shared ThreadPool serves every figure)
- *   --reps N     repeat the figure N times and report wall-clock per
- *                repetition (for scaling measurements)
- *   --csv PATH   also write the figure's table as CSV to PATH
+ *   --threads N      simulation parallelism (default: TD_THREADS or
+ *                    all cores; the shared ThreadPool serves every
+ *                    figure)
+ *   --reps N         repeat the figure N times and report wall-clock
+ *                    per repetition (for scaling measurements)
+ *   --csv PATH       also write the figure's table as CSV to PATH
+ *   --cache-dir DIR  on-disk result cache shared across runs and
+ *                    processes (default: the TD_CACHE environment
+ *                    variable; in-memory memoisation is always on)
+ *
+ * Figures built on one runMany() sweep additionally accept the
+ * sharding CLI (see sweepFigure):
+ *
+ *   --shard i/N      simulate only shard i of the task grid
+ *   --shard-out F    write the partial sweep to F (binary)
+ *   --merge F        load a shard file (repeatable); merge all,
+ *                    render the figure, and simulate nothing
  */
 struct Options
 {
     int threads = 0;
     int reps = 1;
     std::string csv;
+    std::string cache_dir;
+    size_t shard_index = 0;
+    size_t shard_count = 1;
+    std::string shard_out;
+    std::vector<std::string> merge;
 };
 
 inline void
-usage(const char *binary, FILE *out = stdout)
+usage(const char *binary, FILE *out = stdout, bool sharding = false)
 {
     std::fprintf(
         out,
         "usage: %s [--threads N] [--reps N] [--csv PATH]\n"
-        "  --threads N  worker threads (default: TD_THREADS or all "
-        "cores)\n"
-        "  --reps N     repeat the figure N times, timing each rep\n"
-        "  --csv PATH   also write the figure's table as CSV to PATH\n",
+        "  --threads N      worker threads (default: TD_THREADS or "
+        "all cores)\n"
+        "  --reps N         repeat the figure N times, timing each "
+        "rep\n"
+        "  --csv PATH       also write the figure's table as CSV to "
+        "PATH\n"
+        "  --cache-dir DIR  on-disk result cache (default: TD_CACHE "
+        "env)\n",
         binary);
+    if (sharding) {
+        std::fprintf(
+            out,
+            "  --shard i/N      simulate only shard i of N (needs "
+            "--shard-out)\n"
+            "  --shard-out F    write the partial sweep to F\n"
+            "  --merge F        merge shard file F (repeatable) and "
+            "render\n");
+    }
 }
 
-/** Parse the shared CLI; exits on --help, bad values or unknown
- * options. */
+/**
+ * Parse the shared CLI; exits on --help, bad values or unknown
+ * options.  @p sharding enables --shard/--shard-out/--merge for
+ * figures built on a single runMany() sweep.
+ */
 inline Options
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, bool sharding = false)
 {
     Options opts;
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
                          argv[i]);
-            usage(argv[0], stderr);
+            usage(argv[0], stderr, sharding);
             std::exit(1);
         }
         return argv[++i];
@@ -122,7 +157,7 @@ parseArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
+            usage(argv[0], stdout, sharding);
             std::exit(0);
         } else if (arg == "--threads") {
             opts.threads = intValue(i, 0); // 0 = TD_THREADS/auto
@@ -130,22 +165,61 @@ parseArgs(int argc, char **argv)
             opts.reps = intValue(i, 1);
         } else if (arg == "--csv") {
             opts.csv = value(i);
+        } else if (arg == "--cache-dir") {
+            opts.cache_dir = value(i);
+        } else if (sharding && arg == "--shard") {
+            const char *text = value(i);
+            unsigned long idx = 0, cnt = 0;
+            if (std::sscanf(text, "%lu/%lu", &idx, &cnt) != 2 ||
+                cnt < 1 || cnt > 4096 || idx >= cnt) {
+                std::fprintf(stderr,
+                             "%s: bad value '%s' for --shard (want "
+                             "i/N with i < N <= 4096)\n",
+                             argv[0], text);
+                std::exit(1);
+            }
+            opts.shard_index = idx;
+            opts.shard_count = cnt;
+        } else if (sharding && arg == "--shard-out") {
+            opts.shard_out = value(i);
+        } else if (sharding && arg == "--merge") {
+            opts.merge.push_back(value(i));
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                          arg.c_str());
-            usage(argv[0], stderr);
+            usage(argv[0], stderr, sharding);
             std::exit(1);
         }
+    }
+    if (opts.shard_count > 1 && !opts.merge.empty()) {
+        std::fprintf(stderr, "%s: --shard and --merge are exclusive\n",
+                     argv[0]);
+        std::exit(1);
+    }
+    if (opts.shard_count > 1 && opts.shard_out.empty()) {
+        std::fprintf(stderr,
+                     "%s: --shard needs --shard-out FILE to store "
+                     "the partial sweep\n", argv[0]);
+        std::exit(1);
+    }
+    if (opts.shard_count > 1 && !opts.csv.empty()) {
+        std::fprintf(stderr,
+                     "%s: --csv has no effect with --shard (a partial "
+                     "sweep renders no table); use it with --merge or "
+                     "an unsharded run\n", argv[0]);
+        std::exit(1);
     }
     return opts;
 }
 
-/** Run configuration honouring the shared CLI's thread count. */
+/** Run configuration honouring the shared CLI's thread count and
+ * cache directory. */
 inline RunConfig
 defaultRunConfig(const Options &opts)
 {
     RunConfig cfg = defaultRunConfig();
     cfg.threads = opts.threads;
+    cfg.cache_dir = opts.cache_dir;
     return cfg;
 }
 
@@ -172,6 +246,12 @@ emit(const Table &t, const Options &opts)
  * wall-clock of every repetition, and emits the last table.  Figures
  * route their whole computation through build() so --reps times the
  * complete sweep.
+ *
+ * With --reps > 1 the in-process result memo is cleared before every
+ * repetition: --reps exists to measure simulation wall-clock (e.g.
+ * thread scaling), and serving reps 2..N from the memo would time
+ * hash lookups instead.  An explicit --cache-dir/TD_CACHE disk cache
+ * is the user's call and still applies.
  */
 template <typename BuildFn>
 inline void
@@ -180,6 +260,8 @@ runFigure(const Options &opts, BuildFn &&build)
     int threads =
         opts.threads > 0 ? opts.threads : ThreadPool::defaultThreadCount();
     for (int rep = 0; rep < opts.reps; ++rep) {
+        if (opts.reps > 1)
+            ResultStore::shared().clearMemo();
         auto start = std::chrono::steady_clock::now();
         Table t = build();
         double ms = std::chrono::duration<double, std::milli>(
@@ -190,6 +272,85 @@ runFigure(const Options &opts, BuildFn &&build)
         std::printf("[rep %d/%d] %.0f ms (%d thread%s)\n", rep + 1,
                     opts.reps, ms, threads, threads == 1 ? "" : "s");
     }
+}
+
+/** Report the sweep's cache effectiveness (CI greps this line). */
+inline void
+reportCache(const SweepResult &sweep)
+{
+    std::printf("[cache] tasks=%zu hits=%zu simulated=%zu\n",
+                sweep.taskCount(), sweep.cache_hits, sweep.simulated);
+}
+
+/**
+ * Drive one runMany()-backed figure through the sharding CLI:
+ *
+ *  - --merge F...: load and merge the shard files, render the figure
+ *    from the merged sweep, simulate nothing.  Byte-identical CSV to
+ *    an unsharded run (the merged grid re-reduces in serial order).
+ *  - --shard i/N: simulate only shard i and serialize the partial
+ *    sweep to --shard-out; no table is rendered.
+ *  - neither: the plain runFigure() loop.
+ *
+ * @param render  callable SweepResult -> Table
+ */
+template <typename RenderFn>
+inline void
+sweepFigure(const Options &opts, const ModelRunner &runner,
+            std::span<const ModelProfile> models,
+            std::span<const double> points, RenderFn &&render)
+{
+    if (!opts.merge.empty()) {
+        SweepResult merged;
+        for (size_t i = 0; i < opts.merge.size(); ++i) {
+            const std::string &path = opts.merge[i];
+            std::vector<uint8_t> bytes;
+            if (!readFileBytes(path, &bytes))
+                TD_FATAL("cannot read shard file '%s'", path.c_str());
+            SweepResult shard;
+            if (!SweepResult::deserialize(bytes, &shard)) {
+                TD_FATAL("'%s' is not a valid sweep shard (wrong "
+                         "version or corrupt)", path.c_str());
+            }
+            if (i == 0)
+                merged = std::move(shard);
+            else
+                merged.merge(shard);
+        }
+        if (!merged.complete()) {
+            TD_FATAL("merged sweep covers only %zu of %zu tasks; "
+                     "pass every shard via --merge",
+                     merged.presentCount(), merged.taskCount());
+        }
+        std::printf("[merge] %zu shard file%s -> %zu tasks\n",
+                    opts.merge.size(),
+                    opts.merge.size() == 1 ? "" : "s",
+                    merged.taskCount());
+        emit(render(merged), opts);
+        return;
+    }
+    if (opts.shard_count > 1) {
+        Shard shard{opts.shard_index, opts.shard_count};
+        auto start = std::chrono::steady_clock::now();
+        SweepResult sweep = runner.runMany(models, points, shard);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        reportCache(sweep);
+        if (!writeFileBytes(opts.shard_out, sweep.serialize()))
+            TD_FATAL("cannot write shard file '%s'",
+                     opts.shard_out.c_str());
+        std::printf("[shard %zu/%zu] %zu of %zu tasks in %.0f ms -> "
+                    "%s\n", shard.index, shard.count,
+                    sweep.presentCount(), sweep.taskCount(), ms,
+                    opts.shard_out.c_str());
+        return;
+    }
+    runFigure(opts, [&] {
+        SweepResult sweep = runner.runMany(models, points);
+        reportCache(sweep);
+        return render(sweep);
+    });
 }
 
 /** Print the figure banner. */

@@ -11,14 +11,15 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Fig. 1",
                   "potential work reduction per training convolution");
     ModelRunner runner(bench::defaultRunConfig(opts));
     const auto models = ModelZoo::paperModels();
 
-    bench::runFigure(opts, [&] {
-        SweepResult sweep = runner.runMany(models);
+    bench::sweepFigure(opts, runner, models, {},
+                       [&](const SweepResult &sweep) {
         Table t;
         t.header({"model", "AxW", "AxG", "WxG", "Total"});
         std::vector<double> totals;

@@ -11,13 +11,14 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Fig. 13", "TensorDash speedup over the baseline");
     ModelRunner runner(bench::defaultRunConfig(opts));
     const auto models = ModelZoo::paperModels();
 
-    bench::runFigure(opts, [&] {
-        SweepResult sweep = runner.runMany(models);
+    bench::sweepFigure(opts, runner, models, {},
+                       [&](const SweepResult &sweep) {
         Table t;
         t.header({"model", "AxW", "AxG", "WxG", "Total"});
         for (size_t m = 0; m < sweep.modelCount(); ++m) {
@@ -34,6 +35,7 @@ main(int argc, char **argv)
                fmtSpeedup(sweep.geomeanSpeedup())});
         return t;
     });
+
     bench::reference(
         "1.95x average speedup; never slows down execution; "
         "DenseNet121's WxG speedup is negligible (its batch-norm "

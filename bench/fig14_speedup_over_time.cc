@@ -15,7 +15,8 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Fig. 14", "speedup as training progresses");
     const std::vector<double> points = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
                                         0.6, 0.7, 0.8, 0.9, 1.0};
@@ -25,8 +26,8 @@ main(int argc, char **argv)
     ModelRunner runner(cfg);
     const auto models = ModelZoo::paperModels();
 
-    bench::runFigure(opts, [&] {
-        SweepResult sweep = runner.runMany(models, points);
+    bench::sweepFigure(opts, runner, models, points,
+                       [&](const SweepResult &sweep) {
         Table t;
         std::vector<std::string> header = {"model"};
         for (double p : points)

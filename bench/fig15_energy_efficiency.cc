@@ -11,13 +11,14 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Fig. 15", "energy efficiency over the baseline");
     ModelRunner runner(bench::defaultRunConfig(opts));
     const auto models = ModelZoo::paperModels();
 
-    bench::runFigure(opts, [&] {
-        SweepResult sweep = runner.runMany(models);
+    bench::sweepFigure(opts, runner, models, {},
+                       [&](const SweepResult &sweep) {
         Table t;
         t.header({"model", "Core Energy Effic.",
                   "Overall Energy Effic."});

@@ -11,14 +11,15 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Fig. 16",
                   "energy breakdown normalised to the baseline");
     ModelRunner runner(bench::defaultRunConfig(opts));
     const auto models = ModelZoo::paperModels();
 
-    bench::runFigure(opts, [&] {
-        SweepResult sweep = runner.runMany(models);
+    bench::sweepFigure(opts, runner, models, {},
+                       [&](const SweepResult &sweep) {
         Table t;
         t.header({"model", "arch", "DRAM %", "Core %", "SRAM %",
                   "Total %"});

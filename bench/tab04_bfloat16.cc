@@ -11,7 +11,8 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("bfloat16 study",
                   "area/power overheads and energy efficiency");
 
@@ -42,8 +43,8 @@ main(int argc, char **argv)
     ModelRunner runner(cfg);
     const auto models = ModelZoo::paperModels();
 
-    bench::runFigure(opts, [&] {
-        SweepResult sweep = runner.runMany(models);
+    bench::sweepFigure(opts, runner, models, {},
+                       [&](const SweepResult &sweep) {
         Table e("bfloat16 energy efficiency per model");
         e.header({"model", "core", "overall"});
         double core_mean = 0.0, overall_mean = 0.0;

@@ -1,0 +1,33 @@
+#include "common/hashing.hh"
+
+namespace tensordash {
+
+void
+FnvHasher::bytes(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i)
+        state_ = (state_ ^ p[i]) * kPrime;
+}
+
+std::string
+FnvHasher::toHex(uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[(size_t)i] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return s;
+}
+
+uint64_t
+FnvHasher::hashBytes(const void *data, size_t len)
+{
+    FnvHasher h;
+    h.bytes(data, len);
+    return h.value();
+}
+
+} // namespace tensordash

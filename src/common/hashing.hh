@@ -1,0 +1,91 @@
+#ifndef TENSORDASH_COMMON_HASHING_HH_
+#define TENSORDASH_COMMON_HASHING_HH_
+
+/**
+ * @file
+ * Content-addressed fingerprinting for simulation inputs.
+ *
+ * Every simulation task is a pure function of its configuration, so a
+ * stable fingerprint over that configuration is a valid cache key and
+ * a valid cross-process identity for sharded sweeps.  FnvHasher is a
+ * 64-bit FNV-1a accumulator with typed mixers that serialise every
+ * value to explicit little-endian bytes before hashing: the same
+ * logical inputs produce the same fingerprint on any platform,
+ * independent of struct padding, endianness or field addresses.
+ *
+ * Convention: structs expose `hashInto(FnvHasher &)` mixing every
+ * field that can change a simulation result.  Adding a field to such a
+ * struct must extend its hashInto() — the key-sensitivity tests in
+ * test_result_store.cc enumerate the fields and fail when one is
+ * forgotten.
+ */
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace tensordash {
+
+/** 64-bit FNV-1a accumulator with platform-stable typed mixers. */
+class FnvHasher
+{
+  public:
+    static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+    static constexpr uint64_t kPrime = 0x00000100000001b3ull;
+
+    /** Mix a raw byte range. */
+    void bytes(const void *data, size_t len);
+
+    /** Mix one byte. */
+    void
+    u8(uint8_t v)
+    {
+        state_ = (state_ ^ v) * kPrime;
+    }
+
+    /** Mix a 64-bit value as 8 little-endian bytes. */
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8((uint8_t)(v >> (8 * i)));
+    }
+
+    /** Mix a signed value through its two's-complement bits. */
+    void i64(int64_t v) { u64((uint64_t)v); }
+
+    /** Mix a double through its IEEE-754 bit pattern. */
+    void f64(double v) { u64(std::bit_cast<uint64_t>(v)); }
+
+    /** Mix a bool as one byte. */
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Mix a string, length-prefixed so field boundaries are exact. */
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    /** Current fingerprint. */
+    uint64_t value() const { return state_; }
+
+    /** Fingerprint as 16 lowercase hex digits (cache file names). */
+    std::string hex() const { return toHex(state_); }
+
+    /** Format any 64-bit fingerprint as 16 lowercase hex digits. */
+    static std::string toHex(uint64_t v);
+
+    /** One-shot convenience: FNV-1a of a byte string. */
+    static uint64_t hashBytes(const void *data, size_t len);
+
+  private:
+    uint64_t state_ = kOffsetBasis;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_COMMON_HASHING_HH_

@@ -1,0 +1,111 @@
+#include "core/result_store.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+
+namespace {
+
+/** Disk entry header: magic + format version + the key itself (an
+ * integrity check against hash-named files moved between dirs). */
+constexpr uint32_t kEntryMagic = 0x524c4454; // "TDLR" little-endian
+
+} // namespace
+
+ResultStore &
+ResultStore::shared()
+{
+    static ResultStore store;
+    return store;
+}
+
+bool
+ResultStore::lookup(const TaskKey &key, LayerResult *out,
+                    const std::string &dir)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = memo_.find(key.value);
+        if (it != memo_.end()) {
+            *out = it->second;
+            return true;
+        }
+    }
+    if (dir.empty())
+        return false;
+
+    std::vector<uint8_t> bytes;
+    if (!readFileBytes(entryPath(dir, key), &bytes))
+        return false;
+    ByteReader r(bytes);
+    if (r.u32() != kEntryMagic || r.u32() != kResultFormatVersion ||
+        r.u64() != key.value)
+        return false;
+    LayerResult result;
+    result.deserialize(r);
+    if (!r.atEnd())
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        memo_.emplace(key.value, result);
+    }
+    *out = result;
+    return true;
+}
+
+void
+ResultStore::insert(const TaskKey &key, const LayerResult &result,
+                    const std::string &dir)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        memo_.emplace(key.value, result);
+    }
+    if (dir.empty())
+        return;
+    ByteWriter w;
+    w.u32(kEntryMagic);
+    w.u32(kResultFormatVersion);
+    w.u64(key.value);
+    result.serialize(w);
+    if (!writeFileBytes(entryPath(dir, key), w.data())) {
+        // A read-only or missing cache dir degrades to memory-only
+        // memoisation; correctness never depends on the disk layer.
+        TD_WARN("cannot write result cache entry '%s'",
+                entryPath(dir, key).c_str());
+    }
+}
+
+size_t
+ResultStore::memoSize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return memo_.size();
+}
+
+void
+ResultStore::clearMemo()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_.clear();
+}
+
+std::string
+ResultStore::entryPath(const std::string &dir, const TaskKey &key)
+{
+    return dir + "/" + key.hex() + ".tdlr";
+}
+
+std::string
+ResultStore::resolveDir(const std::string &configured)
+{
+    if (!configured.empty())
+        return configured;
+    if (const char *env = std::getenv("TD_CACHE"))
+        return env;
+    return "";
+}
+
+} // namespace tensordash

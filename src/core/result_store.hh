@@ -1,0 +1,87 @@
+#ifndef TENSORDASH_CORE_RESULT_STORE_HH_
+#define TENSORDASH_CORE_RESULT_STORE_HH_
+
+/**
+ * @file
+ * Content-addressed cache of per-layer simulation results.
+ *
+ * Simulation tasks are pure functions of their TaskKey, so a result
+ * computed once is valid forever: the store memoises LayerResults in
+ * memory (shared by every ModelRunner in the process) and, when a
+ * cache directory is supplied, mirrors them to disk as versioned
+ * binary blobs named by the key's hex fingerprint.  A warm cache turns
+ * a repeated figure sweep — fig13 and fig15 simulate the identical
+ * grid — into pure lookups with zero layer simulations.
+ *
+ * Invalidation is by construction, not by policy: any change to a
+ * result-affecting input (accelerator config, DRAM timing, layer
+ * shape, sparsity profile, progress, seed) or to the serialized result
+ * layout (kResultFormatVersion) produces a different key, so stale
+ * entries are never *read*, merely orphaned.  A cache directory can
+ * therefore be deleted at any time with no correctness impact.
+ *
+ * Thread safety: lookup/insert are serialised by a mutex and called
+ * from inside the parallel task claim loop; disk writes are atomic
+ * (unique temp file + rename), so concurrent processes may share one
+ * directory.
+ */
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/runner.hh"
+
+namespace tensordash {
+
+/** Process-wide memo + optional on-disk cache of LayerResults. */
+class ResultStore
+{
+  public:
+    ResultStore() = default;
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /** The process-wide store every cache-enabled run consults. */
+    static ResultStore &shared();
+
+    /**
+     * Fetch the result for @p key: from the in-memory memo, else —
+     * when @p dir is non-empty — from disk (populating the memo on a
+     * disk hit).  Corrupt, truncated or wrong-version disk entries are
+     * treated as misses.
+     *
+     * @return true and fill @p out on a hit
+     */
+    bool lookup(const TaskKey &key, LayerResult *out,
+                const std::string &dir = "");
+
+    /** Memoise @p result and, when @p dir is non-empty, persist it. */
+    void insert(const TaskKey &key, const LayerResult &result,
+                const std::string &dir = "");
+
+    /** Entries currently memoised in memory. */
+    size_t memoSize() const;
+
+    /** Drop the in-memory memo (tests; disk entries are untouched). */
+    void clearMemo();
+
+    /** On-disk path of @p key's entry under @p dir. */
+    static std::string entryPath(const std::string &dir,
+                                 const TaskKey &key);
+
+    /**
+     * Cache directory a run should use: @p configured when non-empty,
+     * else the TD_CACHE environment variable, else "" (memory only).
+     */
+    static std::string resolveDir(const std::string &configured);
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, LayerResult> memo_;
+};
+
+} // namespace tensordash
+
+#endif // TENSORDASH_CORE_RESULT_STORE_HH_

@@ -1,15 +1,20 @@
 #include "core/runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "core/result_store.hh"
 
 namespace tensordash {
 
 namespace {
+
+/** Sweep-file header magic ("TDSW" little-endian). */
+constexpr uint32_t kSweepMagic = 0x57534454;
 
 /**
  * One (model, progress) cell of a sweep.  The per-layer synthesis
@@ -37,19 +42,12 @@ struct SimTask
     size_t layer;
 
     /** Position in the serial (unit, layer) grid: where results land,
-     * fixed before tasks are reordered for load balancing. */
+     * fixed before tasks are filtered to a shard and reordered for
+     * load balancing. */
     size_t slot;
 
     /** Estimated dense MACs (claim-order sort key). */
     uint64_t est_macs;
-};
-
-/** What one (layer, op) produces; reduced in serial order afterwards. */
-struct SimTaskResult
-{
-    OpResult op;
-    EnergyBreakdown energy_base;
-    EnergyBreakdown energy_td;
 };
 
 /** Synthesise one layer's tensors from a private copy of its stream. */
@@ -62,10 +60,11 @@ synthesizeLayer(const SweepUnit &unit, size_t layer)
 }
 
 /**
- * Run one layer's three ops on a task-private Accelerator, writing
- * into the task's three grid slots: synthesize -> (observe + freeze
- * the gating table) -> lower -> simulate.  Depends only on the config
- * and the unit, so tasks run in any order on any thread.
+ * Run one layer's three ops on a task-private Accelerator: synthesize
+ * -> (observe + freeze the gating table) -> lower -> simulate.
+ * Depends only on the config and the unit — everything the TaskKey
+ * fingerprints — so tasks run in any order on any thread and results
+ * memoise exactly.
  *
  * The observe phase lives inside the task: gating decisions depend
  * only on the layer's own measured zero fractions (the serial driver
@@ -75,7 +74,7 @@ synthesizeLayer(const SweepUnit &unit, size_t layer)
  */
 void
 simulateTask(const RunConfig &config, const SweepUnit &unit,
-             const SimTask &task, SimTaskResult *slots)
+             const SimTask &task, LayerResult *out)
 {
     AcceleratorConfig accel_cfg = config.accel;
     accel_cfg.wg_side = unit.model->wg_side;
@@ -96,19 +95,89 @@ simulateTask(const RunConfig &config, const SweepUnit &unit,
     const double out_sparsity[3] = {t.acts.sparsity(),
                                     t.grads.sparsity(), 0.0};
     for (int op = 0; op < 3; ++op) {
-        SimTaskResult &r = slots[op];
-        r.op = accel.runConvOp((TrainOp)op, t.acts, t.weights, t.grads,
-                               t.spec, out_sparsity[op]);
-        r.energy_base = accel.energy(r.op, false);
-        r.energy_td = accel.energy(r.op, true);
+        out->ops[op] =
+            accel.runConvOp((TrainOp)op, t.acts, t.weights, t.grads,
+                            t.spec, out_sparsity[op]);
+        out->energy_base[op] = accel.energy(out->ops[op], false);
+        out->energy_td[op] = accel.energy(out->ops[op], true);
     }
 }
 
 } // namespace
 
+TaskKey
+TaskKey::forLayer(const RunConfig &config, const ModelProfile &model,
+                  size_t layer, double progress)
+{
+    TD_ASSERT(layer < model.layers.size(),
+              "layer %zu out of range for model '%s' (%zu layers)",
+              layer, model.name.c_str(), model.layers.size());
+    FnvHasher h;
+    h.u64(kResultFormatVersion);
+    // The task simulates under the model's wg_side override, so the
+    // key must fingerprint the *effective* accelerator configuration.
+    AcceleratorConfig accel = config.accel;
+    accel.wg_side = model.wg_side;
+    accel.hashInto(h);
+    h.u64(config.seed);
+    h.f64(progress);
+    // The layer's Rng stream is fork number `layer` of the serially
+    // seeded parent, a function of (seed, layer index) alone.
+    h.u64(layer);
+    h.i64(model.batch);
+    model.sparsity.hashInto(h);
+    model.layers[layer].hashInto(h);
+    return TaskKey{h.value()};
+}
+
+std::string
+TaskKey::hex() const
+{
+    return FnvHasher::toHex(value);
+}
+
+void
+LayerResult::serialize(ByteWriter &w) const
+{
+    for (int op = 0; op < 3; ++op) {
+        ops[op].serialize(w);
+        energy_base[op].serialize(w);
+        energy_td[op].serialize(w);
+    }
+}
+
+void
+LayerResult::deserialize(ByteReader &r)
+{
+    for (int op = 0; op < 3; ++op) {
+        ops[op].deserialize(r);
+        energy_base[op].deserialize(r);
+        energy_td[op].deserialize(r);
+    }
+}
+
+size_t
+SweepResult::presentCount() const
+{
+    size_t n = 0;
+    for (uint8_t p : present)
+        n += p;
+    return n;
+}
+
+bool
+SweepResult::complete() const
+{
+    return presentCount() == taskCount();
+}
+
 const ModelRunResult &
 SweepResult::at(size_t model, size_t point) const
 {
+    TD_ASSERT(!results.empty() || taskCount() == 0,
+              "sweep is a partial shard (%zu of %zu cells present); "
+              "merge all shards before reading model-level results",
+              presentCount(), taskCount());
     TD_ASSERT(model < modelCount() && point < pointCount(),
               "sweep cell (%zu, %zu) out of range (%zu x %zu)", model,
               point, modelCount(), pointCount());
@@ -141,6 +210,142 @@ SweepResult::geomeanSpeedup(size_t point) const
     return geomean(speedups(point));
 }
 
+void
+SweepResult::reduce()
+{
+    TD_ASSERT(complete(),
+              "cannot reduce a partial sweep (%zu of %zu cells)",
+              presentCount(), taskCount());
+    results.clear();
+    results.reserve(modelCount() * pointCount());
+    size_t first_task = 0;
+    for (size_t m = 0; m < modelCount(); ++m) {
+        for (size_t p = 0; p < pointCount(); ++p) {
+            ModelRunResult result;
+            result.model = models[m];
+            result.memory_model = memory_model;
+            for (int i = 0; i < 3; ++i)
+                result.ops[i].op = (TrainOp)i;
+            for (size_t l = 0; l < model_layer_counts[m]; ++l) {
+                const LayerResult &lr = layer_results[first_task + l];
+                for (int op = 0; op < 3; ++op) {
+                    result.ops[op].merge(lr.ops[op]);
+                    result.total.merge(lr.ops[op]);
+                    result.energy_base.merge(lr.energy_base[op]);
+                    result.energy_td.merge(lr.energy_td[op]);
+                }
+            }
+            first_task += model_layer_counts[m];
+            results.push_back(std::move(result));
+        }
+    }
+}
+
+void
+SweepResult::merge(const SweepResult &other)
+{
+    TD_ASSERT(fingerprint == other.fingerprint,
+              "cannot merge sweeps with different fingerprints "
+              "(%016llx vs %016llx): they describe different grids or "
+              "configurations",
+              (unsigned long long)fingerprint,
+              (unsigned long long)other.fingerprint);
+    TD_ASSERT(taskCount() == other.taskCount(),
+              "sweep grids differ in size (%zu vs %zu)", taskCount(),
+              other.taskCount());
+    for (size_t i = 0; i < taskCount(); ++i) {
+        if (other.present[i] && !present[i]) {
+            layer_results[i] = other.layer_results[i];
+            present[i] = 1;
+        }
+    }
+    cache_hits += other.cache_hits;
+    simulated += other.simulated;
+    if (complete()) {
+        shard = Shard{};
+        reduce();
+    }
+}
+
+std::vector<uint8_t>
+SweepResult::serialize() const
+{
+    ByteWriter w;
+    w.u32(kSweepMagic);
+    w.u32(kResultFormatVersion);
+    w.u64(fingerprint);
+    w.u8((uint8_t)memory_model);
+    w.u32((uint32_t)models.size());
+    for (size_t m = 0; m < models.size(); ++m) {
+        w.str(models[m]);
+        w.u32(model_layer_counts[m]);
+    }
+    w.u32((uint32_t)progress_points.size());
+    for (double p : progress_points)
+        w.f64(p);
+    w.u32((uint32_t)shard.index);
+    w.u32((uint32_t)shard.count);
+    w.u64(cache_hits);
+    w.u64(simulated);
+    w.u32((uint32_t)taskCount());
+    for (size_t i = 0; i < taskCount(); ++i) {
+        w.b(present[i] != 0);
+        if (present[i])
+            layer_results[i].serialize(w);
+    }
+    return w.data();
+}
+
+bool
+SweepResult::deserialize(const std::vector<uint8_t> &bytes,
+                         SweepResult *out)
+{
+    ByteReader r(bytes);
+    if (r.u32() != kSweepMagic || r.u32() != kResultFormatVersion)
+        return false;
+    SweepResult s;
+    s.fingerprint = r.u64();
+    s.memory_model = (MemoryModel)r.u8();
+    uint32_t nmodels = r.u32();
+    for (uint32_t m = 0; r.ok() && m < nmodels; ++m) {
+        s.models.push_back(r.str());
+        s.model_layer_counts.push_back(r.u32());
+    }
+    uint32_t npoints = r.u32();
+    for (uint32_t p = 0; r.ok() && p < npoints; ++p)
+        s.progress_points.push_back(r.f64());
+    s.shard.index = r.u32();
+    s.shard.count = r.u32();
+    s.cache_hits = r.u64();
+    s.simulated = r.u64();
+    uint32_t ntasks = r.u32();
+    if (!r.ok())
+        return false;
+    // Cross-check the declared grid against the layout fields and the
+    // bytes actually present before allocating: a corrupt count (even
+    // an internally consistent one) must not drive a huge resize.
+    // Every task costs at least its one-byte present flag.
+    uint64_t expected = 0;
+    for (size_t m = 0; m < s.models.size(); ++m)
+        expected += (uint64_t)s.model_layer_counts[m] * npoints;
+    if (expected != ntasks || ntasks > r.remaining())
+        return false;
+    s.layer_results.resize(ntasks);
+    s.present.assign(ntasks, 0);
+    for (uint32_t i = 0; r.ok() && i < ntasks; ++i) {
+        if (r.b()) {
+            s.present[i] = 1;
+            s.layer_results[i].deserialize(r);
+        }
+    }
+    if (!r.atEnd())
+        return false;
+    if (s.complete())
+        s.reduce();
+    *out = std::move(s);
+    return true;
+}
+
 ModelRunResult
 ModelRunner::run(const ModelProfile &model) const
 {
@@ -156,13 +361,26 @@ ModelRunner::runByName(const std::string &name) const
 
 SweepResult
 ModelRunner::runMany(std::span<const ModelProfile> models,
-                     std::span<const double> progress_points) const
+                     std::span<const double> progress_points,
+                     Shard shard) const
 {
+    // A negative thread count would silently degrade to "whole pool"
+    // inside the pool sizing path; reject it here where the request
+    // was made.
+    TD_ASSERT(config_.threads >= 0,
+              "RunConfig::threads must be >= 0 (0 = the shared pool "
+              "default), got %d", config_.threads);
+    TD_ASSERT(shard.count >= 1 && shard.index < shard.count,
+              "invalid shard %zu/%zu (want index < count, count >= 1)",
+              shard.index, shard.count);
+
     SweepResult sweep;
     sweep.progress_points = progress_points.empty()
         ? std::vector<double>{config_.progress}
         : std::vector<double>(progress_points.begin(),
                               progress_points.end());
+    sweep.memory_model = config_.accel.memory_model;
+    sweep.shard = shard;
 
     // Fork the per-layer streams in serial layer order, which makes
     // synthesis independent of task execution order.  One vector per
@@ -180,12 +398,17 @@ ModelRunner::runMany(std::span<const ModelProfile> models,
         model_rngs.push_back(std::move(layer_rngs));
     }
 
-    // Lay out the (model x progress x layer) task grid.
+    // Lay out the (model x progress x layer) task grid and fingerprint
+    // every task.  Keys are computed serially up front: they are cheap
+    // relative to simulation and the sweep fingerprint needs them all.
     std::vector<SweepUnit> units;
     std::vector<SimTask> tasks;
+    std::vector<TaskKey> keys;
     for (size_t m = 0; m < models.size(); ++m) {
         const ModelProfile &model = models[m];
         sweep.models.push_back(model.name);
+        sweep.model_layer_counts.push_back(
+            (uint32_t)model.layers.size());
         for (double progress : sweep.progress_points) {
             SweepUnit unit;
             unit.model = &model;
@@ -196,54 +419,80 @@ ModelRunner::runMany(std::span<const ModelProfile> models,
                 uint64_t macs = model.layers[l].macsPerSample() *
                                 (uint64_t)model.batch;
                 tasks.push_back({units.size(), l, tasks.size(), macs});
+                keys.push_back(
+                    TaskKey::forLayer(config_, model, l, progress));
             }
             units.push_back(unit);
         }
     }
 
-    // Load balancing: claim the costliest layers first so a huge layer
-    // picked up late cannot leave the pool tailing on one thread.
-    // Results land in pre-assigned slots and the reduce below walks
-    // serial order, so the claim order never affects the output.
-    std::stable_sort(tasks.begin(), tasks.end(),
+    // The sweep fingerprint pins the whole grid: shards merge only
+    // when models, points and every task key agree.
+    FnvHasher fh;
+    fh.u64(kResultFormatVersion);
+    for (size_t m = 0; m < sweep.models.size(); ++m) {
+        fh.str(sweep.models[m]);
+        fh.u64(sweep.model_layer_counts[m]);
+    }
+    for (double p : sweep.progress_points)
+        fh.f64(p);
+    for (const TaskKey &k : keys)
+        fh.u64(k.value);
+    sweep.fingerprint = fh.value();
+
+    sweep.layer_results.resize(tasks.size());
+    sweep.present.assign(tasks.size(), 0);
+
+    // This shard's slice of the grid, claimed costliest-first so a
+    // huge layer picked up late cannot leave the pool tailing on one
+    // thread.  Results land in pre-assigned slots and the reduce walks
+    // serial order, so neither the shard split nor the claim order
+    // ever affects the output.
+    std::vector<SimTask> owned;
+    owned.reserve(tasks.size() / shard.count + 1);
+    for (const SimTask &task : tasks)
+        if (shard.owns(task.slot))
+            owned.push_back(task);
+    std::stable_sort(owned.begin(), owned.end(),
                      [](const SimTask &a, const SimTask &b) {
                          return a.est_macs > b.est_macs;
                      });
 
-    ThreadPool &pool = ThreadPool::shared();
+    ResultStore *store = config_.cache ? &ResultStore::shared() : nullptr;
+    const std::string cache_dir =
+        store ? ResultStore::resolveDir(config_.cache_dir) : "";
 
-    // Run pass: one stateless task per layer, each writing only its
-    // own three (layer, op) grid slots.
-    std::vector<SimTaskResult> grid(tasks.size() * 3);
+    // Run pass: one stateless task per owned layer, each consulting
+    // the result store before simulating and writing only its own
+    // grid slot.
+    std::atomic<size_t> cache_hits{0};
+    std::atomic<size_t> simulated{0};
+    ThreadPool &pool = ThreadPool::shared();
     pool.parallelFor(
-        tasks.size(),
+        owned.size(),
         [&](size_t i) {
-            simulateTask(config_, units[tasks[i].unit], tasks[i],
-                         &grid[tasks[i].slot * 3]);
+            const SimTask &task = owned[i];
+            LayerResult &out = sweep.layer_results[task.slot];
+            if (store &&
+                store->lookup(keys[task.slot], &out, cache_dir)) {
+                cache_hits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                simulateTask(config_, units[task.unit], task, &out);
+                simulated.fetch_add(1, std::memory_order_relaxed);
+                if (store)
+                    store->insert(keys[task.slot], out, cache_dir);
+            }
+            sweep.present[task.slot] = 1;
         },
         config_.threads);
+    sweep.cache_hits = cache_hits.load();
+    sweep.simulated = simulated.load();
 
-    // Reduce: merge in serial (layer, op) order, making the
-    // aggregates bit-identical to a single-threaded run.
-    sweep.results.reserve(units.size());
-    for (const SweepUnit &unit : units) {
-        ModelRunResult result;
-        result.model = unit.model->name;
-        result.memory_model = config_.accel.memory_model;
-        for (int i = 0; i < 3; ++i)
-            result.ops[i].op = (TrainOp)i;
-        for (size_t l = 0; l < unit.model->layers.size(); ++l) {
-            for (int op = 0; op < 3; ++op) {
-                const SimTaskResult &r =
-                    grid[(unit.first_task + l) * 3 + (size_t)op];
-                result.ops[op].merge(r.op);
-                result.total.merge(r.op);
-                result.energy_base.merge(r.energy_base);
-                result.energy_td.merge(r.energy_td);
-            }
-        }
-        sweep.results.push_back(std::move(result));
-    }
+    // Reduce: merge in serial (layer, op) order, making the aggregates
+    // bit-identical to a single-threaded, uncached, unsharded run.  A
+    // partial shard skips this; its results materialise on merge().
+    if (sweep.complete())
+        sweep.reduce();
     return sweep;
 }
 

@@ -23,17 +23,46 @@
  * layer's sparsity stats and freezes the gating table before any op
  * simulates (see PowerGateController) — gating decisions are per-layer
  * pure functions, so no cross-layer mutable state remains.
+ *
+ * Tasks are *content addressed*: each is a pure function of its inputs
+ * and carries a TaskKey fingerprinting all of them (config, layer
+ * shape, sparsity profile, progress, seed).  On top of that purity sit
+ * two features:
+ *
+ *  - Memoisation: the task claim loop consults a ResultStore before
+ *    simulating, so repeated sweeps sharing cells (fig13 vs fig15 run
+ *    the identical grid) skip re-simulation entirely, in-process and —
+ *    with a cache dir — across processes.
+ *  - Sharding: runMany() accepts a Shard{index, count} that
+ *    deterministically partitions the (model x progress x layer) task
+ *    grid.  A partial SweepResult serializes to bytes, travels between
+ *    processes/machines, and merge() reassembles the grid; because the
+ *    final reduce always walks the same serial (layer, op) order over
+ *    the same per-layer results, a merged run is bit-identical to a
+ *    single-process one.
  */
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/hashing.hh"
+#include "common/serial.hh"
 #include "models/model_zoo.hh"
 #include "sim/accelerator.hh"
 
 namespace tensordash {
+
+/**
+ * Binary format version of cached/sharded simulation results.  Bump
+ * whenever the serialized layout of LayerResult/SweepResult changes
+ * *or* the simulation semantics change without a config field
+ * recording it; TaskKey mixes this version in, so a bump invalidates
+ * every previously cached result instead of misreading it.
+ */
+inline constexpr uint32_t kResultFormatVersion = 1;
 
 /** Configuration of one model-level run. */
 struct RunConfig
@@ -56,9 +85,84 @@ struct RunConfig
     /**
      * Maximum simulation parallelism: 1 = fully serial, 0 = the shared
      * pool's size (TD_THREADS or hardware_concurrency).  Results are
-     * identical at any setting.
+     * identical at any setting.  Negative values are rejected.
      */
     int threads = 0;
+
+    /**
+     * Consult the process-wide ResultStore before simulating a task
+     * and memoise what was simulated.  Cached results are bit-identical
+     * to fresh simulations (the TaskKey covers every input), so this
+     * only ever changes wall-clock, never output.
+     */
+    bool cache = true;
+
+    /**
+     * Optional on-disk result cache directory, shared across processes
+     * (and safe to share concurrently: entries are content addressed
+     * and written atomically).  Empty falls back to the TD_CACHE
+     * environment variable; both empty means in-memory only.  Ignored
+     * when cache is false.
+     */
+    std::string cache_dir;
+};
+
+/**
+ * Content-addressed identity of one per-layer simulation task: a
+ * stable FNV-1a fingerprint over everything the task's result depends
+ * on — the full accelerator configuration (memory model and DRAM
+ * timing included, with the model's wg_side override applied), the
+ * layer shape, the model's sparsity calibration and batch, the
+ * training progress, the synthesis seed, the layer's position in the
+ * serial Rng fork order, and the result format version.  Equal keys
+ * mean bit-identical results on any platform; any input change yields
+ * a new key.
+ */
+struct TaskKey
+{
+    uint64_t value = 0;
+
+    /** Key of layer @p layer of @p model at @p progress under
+     * @p config. */
+    static TaskKey forLayer(const RunConfig &config,
+                            const ModelProfile &model, size_t layer,
+                            double progress);
+
+    /** 16 lowercase hex digits (cache file names). */
+    std::string hex() const;
+
+    bool operator==(const TaskKey &o) const { return value == o.value; }
+};
+
+/**
+ * What one per-layer task produces: the three training convolutions'
+ * results and their energy splits.  This is the unit of caching and
+ * sharding; everything model-level is reduced from these in serial
+ * order afterwards.
+ */
+struct LayerResult
+{
+    std::array<OpResult, 3> ops;
+    std::array<EnergyBreakdown, 3> energy_base;
+    std::array<EnergyBreakdown, 3> energy_td;
+
+    /** Bit-exact binary round-trip (result cache / shard files). */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
+};
+
+/**
+ * Deterministic partition of the (model x progress x layer) task grid:
+ * shard i of N owns every task whose serial grid slot is congruent to
+ * i mod N.  The default {0, 1} owns the whole grid.
+ */
+struct Shard
+{
+    size_t index = 0;
+    size_t count = 1;
+
+    bool all() const { return count <= 1; }
+    bool owns(size_t slot) const { return count <= 1 || slot % count == index; }
 };
 
 /** Aggregated result of simulating one model. */
@@ -128,20 +232,64 @@ struct ModelRunResult
 /**
  * Aggregated results of a batch sweep: a (model x progress point)
  * grid of ModelRunResults from one runMany() call.
+ *
+ * A SweepResult also carries the raw per-layer task grid it was
+ * reduced from, so a shard's partial sweep can serialize(), travel to
+ * another process, and merge() with its siblings; once every grid cell
+ * is present the model-level results are re-reduced in the same serial
+ * (layer, op) order a single-process run uses, making the merged
+ * output bit-identical to an unsharded one.
  */
 struct SweepResult
 {
     /** Model names, in the order they were passed. */
     std::vector<std::string> models;
 
+    /** Layers per model (the task-grid layout). */
+    std::vector<uint32_t> model_layer_counts;
+
     /** Progress points simulated for every model. */
     std::vector<double> progress_points;
 
-    /** Model-major grid: results[m * progress_points.size() + p]. */
+    /** Memory model the sweep was simulated under. */
+    MemoryModel memory_model = MemoryModel::Pipelined;
+
+    /**
+     * Content hash of the whole task grid (format version, models,
+     * points, every TaskKey).  Two sweeps merge only when their
+     * fingerprints match, which guarantees they describe the same
+     * simulations under the same configuration.
+     */
+    uint64_t fingerprint = 0;
+
+    /** Grid partition this sweep was simulated under ({0, 1} once
+     * complete). */
+    Shard shard;
+
+    /** Raw per-layer task results in serial grid order (the unit of
+     * sharding/caching); present[slot] marks the cells this sweep
+     * holds. */
+    std::vector<LayerResult> layer_results;
+    std::vector<uint8_t> present;
+
+    /** Tasks served from the ResultStore vs actually simulated.  A
+     * fully warm cache shows simulated == 0. */
+    size_t cache_hits = 0;
+    size_t simulated = 0;
+
+    /** Model-major grid: results[m * progress_points.size() + p].
+     * Populated only when complete(). */
     std::vector<ModelRunResult> results;
 
     size_t modelCount() const { return models.size(); }
     size_t pointCount() const { return progress_points.size(); }
+    size_t taskCount() const { return layer_results.size(); }
+
+    /** Grid cells this sweep holds. */
+    size_t presentCount() const;
+
+    /** True when every task of the grid is present. */
+    bool complete() const;
 
     /** Result for one (model, progress point) cell. */
     const ModelRunResult &at(size_t model, size_t point = 0) const;
@@ -154,6 +302,31 @@ struct SweepResult
 
     /** Geometric-mean speedup across models at one progress point. */
     double geomeanSpeedup(size_t point = 0) const;
+
+    /**
+     * Fold @p other's grid cells into this sweep.  Both must carry the
+     * same fingerprint (same models, points, configuration and task
+     * keys); overlapping cells keep this sweep's copy (they are
+     * bit-identical by construction).  Once the union covers the whole
+     * grid, the model-level results are re-reduced.
+     */
+    void merge(const SweepResult &other);
+
+    /** Versioned binary serialization of the sweep (shard files). */
+    std::vector<uint8_t> serialize() const;
+
+    /** Parse a serialize()d sweep; false on bad magic/version or a
+     * truncated or corrupt buffer. */
+    static bool deserialize(const std::vector<uint8_t> &bytes,
+                            SweepResult *out);
+
+    /**
+     * Rebuild the model-level results from the per-layer grid, merging
+     * in serial (layer, op) order — the single reduce path shared by
+     * direct runs, cache hits and cross-shard merges, which is what
+     * makes all three bit-identical.  Requires complete().
+     */
+    void reduce();
 };
 
 /** Drives whole-model simulations. */
@@ -179,11 +352,17 @@ class ModelRunner
      * @param progress_points training points; empty = the configured
      *                        progress.  All points use the configured
      *                        seed, so cells differ only in progress.
+     * @param shard           grid partition to simulate (default: the
+     *                        whole grid).  A partial shard's sweep has
+     *                        no model-level results until merge()d
+     *                        with its siblings.
      * @return model-major SweepResult; each cell is bit-identical to a
-     *         run() call with that model/progress at any thread count
+     *         run() call with that model/progress at any thread count,
+     *         shard split, or cache state
      */
     SweepResult runMany(std::span<const ModelProfile> models,
-                        std::span<const double> progress_points = {}) const;
+                        std::span<const double> progress_points = {},
+                        Shard shard = {}) const;
 
   private:
     RunConfig config_;

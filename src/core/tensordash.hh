@@ -22,11 +22,14 @@
  *   - ModelZoo: the paper's workload suite
  */
 
+#include "common/hashing.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/serial.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "core/result_store.hh"
 #include "core/runner.hh"
 #include "models/model_zoo.hh"
 #include "sim/accelerator.hh"

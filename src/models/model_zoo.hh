@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hashing.hh"
 #include "common/rng.hh"
 #include "sim/dataflow.hh"
 #include "sparsity/temporal.hh"
@@ -47,6 +48,25 @@ struct LayerSpec
 
     /** Dense MACs per training sample for one of the three ops. */
     uint64_t macsPerSample() const;
+
+    /**
+     * Mix every result-affecting field into a task fingerprint.  The
+     * name is deliberately excluded: two identically-shaped layers are
+     * the same simulation whatever they are called.
+     */
+    void
+    hashInto(FnvHasher &h) const
+    {
+        h.b(fc);
+        h.i64(in_c);
+        h.i64(in_hw);
+        h.i64(out_c);
+        h.i64(kernel);
+        h.i64(stride);
+        h.i64(pad);
+        h.f64(act_sparsity);
+        h.f64(grad_sparsity);
+    }
 };
 
 /** Model-level sparsity calibration. */
@@ -57,6 +77,17 @@ struct SparsityProfile
     double weight = 0.0; ///< weight zero fraction (pruned models)
     double cluster_strength = 0.5;
     TemporalShape temporal = TemporalShape::DenseModel;
+
+    /** Mix every result-affecting field into a task fingerprint. */
+    void
+    hashInto(FnvHasher &h) const
+    {
+        h.f64(act);
+        h.f64(grad);
+        h.f64(weight);
+        h.f64(cluster_strength);
+        h.i64((int)temporal);
+    }
 };
 
 /** One workload model. */

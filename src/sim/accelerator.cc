@@ -8,6 +8,66 @@
 
 namespace tensordash {
 
+void
+AcceleratorConfig::hashInto(FnvHasher &h) const
+{
+    h.i64(tiles);
+    tile.hashInto(h);
+    h.i64((int)dtype);
+    h.f64(freq_ghz);
+    dram.hashInto(h);
+    energy.hashInto(h);
+    h.i64((int)memory_model);
+    mem_pipeline.hashInto(h);
+    h.u64(max_sampled_macs);
+    h.u64(seed);
+    h.b(power_gating);
+    h.f64(gate_min_sparsity);
+    h.i64((int)fwd_side);
+    h.i64((int)bwd_data_side);
+    h.i64((int)wg_side);
+}
+
+uint64_t
+AcceleratorConfig::fingerprint() const
+{
+    FnvHasher h;
+    hashInto(h);
+    return h.value();
+}
+
+void
+OpResult::serialize(ByteWriter &w) const
+{
+    w.u8((uint8_t)op);
+    w.f64(base_cycles);
+    w.f64(td_cycles);
+    w.f64(base_mem_stall_cycles);
+    w.f64(td_mem_stall_cycles);
+    w.b(memory_bound);
+    w.f64(b_nonzero_slots);
+    w.f64(b_total_slots);
+    w.f64(mac_slots);
+    activity.serialize(w);
+    w.b(gated);
+}
+
+void
+OpResult::deserialize(ByteReader &r)
+{
+    op = (TrainOp)r.u8();
+    base_cycles = r.f64();
+    td_cycles = r.f64();
+    base_mem_stall_cycles = r.f64();
+    td_mem_stall_cycles = r.f64();
+    memory_bound = r.b();
+    b_nonzero_slots = r.f64();
+    b_total_slots = r.f64();
+    mac_slots = r.f64();
+    activity.deserialize(r);
+    gated = r.b();
+}
+
 Accelerator::Accelerator(const AcceleratorConfig &config)
     : config_(config), tile_(config.tile),
       energy_model_(config.geometry(), config.freq_ghz, config.dram,

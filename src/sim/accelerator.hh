@@ -74,6 +74,18 @@ struct AcceleratorConfig
     BwdDataSide bwd_data_side = BwdDataSide::Gradients;
     WgSide wg_side = WgSide::Auto;
 
+    /**
+     * Mix every result-affecting field into a task fingerprint.  Any
+     * new configuration field that can change a simulation result must
+     * be added here too, or cached results will be served for runs
+     * they do not describe (the key-sensitivity tests enumerate the
+     * fields).
+     */
+    void hashInto(FnvHasher &h) const;
+
+    /** Stand-alone fingerprint of this configuration. */
+    uint64_t fingerprint() const;
+
     /** Geometry handed to the area/energy models. */
     ArchGeometry
     geometry() const
@@ -171,6 +183,10 @@ struct OpResult
         mac_slots += o.mac_slots;
         activity.merge(o.activity);
     }
+
+    /** Bit-exact binary round-trip (result cache / shard files). */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
 };
 
 /**

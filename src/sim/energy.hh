@@ -13,6 +13,8 @@
  * cycle-level simulation, scaled by sampling weights.
  */
 
+#include "common/hashing.hh"
+#include "common/serial.hh"
 #include "sim/area_model.hh"
 #include "sim/memory/dram.hh"
 
@@ -57,6 +59,35 @@ struct RunActivity
         dram_write_bytes += o.dram_write_bytes;
         transposer_groups += o.transposer_groups;
     }
+
+    /** Bit-exact binary round-trip (result cache / shard files). */
+    void
+    serialize(ByteWriter &w) const
+    {
+        w.f64(cycles);
+        w.f64(dram_busy_cycles);
+        w.f64(sram_block_reads);
+        w.f64(sram_block_writes);
+        w.f64(spad_row_reads);
+        w.f64(spad_row_writes);
+        w.f64(dram_read_bytes);
+        w.f64(dram_write_bytes);
+        w.f64(transposer_groups);
+    }
+
+    void
+    deserialize(ByteReader &r)
+    {
+        cycles = r.f64();
+        dram_busy_cycles = r.f64();
+        sram_block_reads = r.f64();
+        sram_block_writes = r.f64();
+        spad_row_reads = r.f64();
+        spad_row_writes = r.f64();
+        dram_read_bytes = r.f64();
+        dram_write_bytes = r.f64();
+        transposer_groups = r.f64();
+    }
 };
 
 /** Energy split the paper reports in Fig. 16. */
@@ -74,6 +105,23 @@ struct EnergyBreakdown
         core_j += o.core_j;
         sram_j += o.sram_j;
         dram_j += o.dram_j;
+    }
+
+    /** Bit-exact binary round-trip (result cache / shard files). */
+    void
+    serialize(ByteWriter &w) const
+    {
+        w.f64(core_j);
+        w.f64(sram_j);
+        w.f64(dram_j);
+    }
+
+    void
+    deserialize(ByteReader &r)
+    {
+        core_j = r.f64();
+        sram_j = r.f64();
+        dram_j = r.f64();
     }
 };
 
@@ -93,6 +141,17 @@ struct EnergyConstants
      * saves it -- one of TensorDash's second-order wins.
      */
     double sram_leakage_mw = 420.0;
+
+    /** Mix every result-affecting field into a task fingerprint. */
+    void
+    hashInto(FnvHasher &h) const
+    {
+        h.f64(sram_read_pj);
+        h.f64(sram_write_pj);
+        h.f64(spad_access_pj);
+        h.f64(transposer_group_pj);
+        h.f64(sram_leakage_mw);
+    }
 };
 
 /** Computes energy from activity for a given accelerator geometry. */

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "common/hashing.hh"
 #include "common/logging.hh"
 
 namespace tensordash {
@@ -28,6 +29,26 @@ struct DramConfig
     /** Access energy per byte moved (pJ), read and write. */
     double pj_per_byte_read = 32.0;
     double pj_per_byte_write = 36.0;
+
+    /**
+     * Accelerator cycles the bus loses per read<->write direction
+     * reversal (tWTR/tRTW-style).  Charged by MemoryPipeline whenever
+     * DmaIn and DmaOut traffic share a streaming interval; 0 models
+     * the ideal bus the published evaluation assumes.
+     */
+    double turnaround_cycles = 0.0;
+
+    /** Mix every result-affecting field into a task fingerprint. */
+    void
+    hashInto(FnvHasher &h) const
+    {
+        h.i64(channels);
+        h.f64(mega_transfers);
+        h.f64(channel_bytes);
+        h.f64(pj_per_byte_read);
+        h.f64(pj_per_byte_write);
+        h.f64(turnaround_cycles);
+    }
 };
 
 /** Bandwidth/energy accounting for the off-chip memory. */
@@ -45,6 +66,9 @@ class DramModel
         TD_ASSERT(config.channel_bytes > 0.0,
                   "non-positive DRAM channel width %f bytes",
                   config.channel_bytes);
+        TD_ASSERT(config.turnaround_cycles >= 0.0,
+                  "negative DRAM bus turnaround %f cycles",
+                  config.turnaround_cycles);
     }
 
     const DramConfig &config() const { return config_; }

@@ -75,19 +75,29 @@ MemoryPipeline::resolve(const StageDemands &demands) const
         demands.transpose_groups /
         Transposer::throughputGroupsPerCycle(config_.transposers) / n;
     t.steady.compute = demands.compute_cycles / n;
+    // Bus turnaround: an interval streaming both directions reverses
+    // the bus twice (read -> write for its DmaOut, write -> read for
+    // the next DmaIn).  One-way traffic never reverses.
+    t.steady.bus_turnaround =
+        demands.dma_in_bytes > 0.0 && demands.dma_out_bytes > 0.0
+            ? 2.0 * dram_.config().turnaround_cycles
+            : 0.0;
 
     // Fill: the first chunk must land in the staging SRAM and pass the
     // transposers before any tile can compute on it.  Drain: the last
     // chunk's outputs stream out after its compute finishes.  Every
     // other interval overlaps with its neighbours and costs the
-    // bottleneck stage.
+    // bottleneck stage; the last interval's reversal pair is serial
+    // (it cannot hide behind a successor), so it is charged explicitly.
     t.fill_cycles = t.steady.dma_in + t.steady.transpose;
     t.drain_cycles = t.steady.dma_out;
     t.cycles = t.fill_cycles + demands.compute_cycles + t.drain_cycles +
+               t.steady.bus_turnaround +
                (n - 1.0) * (t.steady.bottleneck() - t.steady.compute);
     t.mem_stall_cycles = t.cycles - demands.compute_cycles;
     t.dram_busy_cycles =
-        (demands.dma_in_bytes + demands.dma_out_bytes) / bpc;
+        (demands.dma_in_bytes + demands.dma_out_bytes) / bpc +
+        n * t.steady.bus_turnaround;
     t.memory_bound = t.steady.dram() > 0.0 &&
                      t.steady.dram() >= t.steady.compute &&
                      t.steady.dram() >= t.steady.transpose;

@@ -82,8 +82,16 @@ struct StageCycles
     double compute = 0.0;
     double dma_out = 0.0;
 
+    /**
+     * Bus-turnaround penalty per interval: two direction reversals
+     * (read -> write for the write-back, write -> read for the next
+     * interval's DmaIn) whenever both directions stream.  0 with an
+     * ideal bus (DramConfig::turnaround_cycles = 0) or one-way traffic.
+     */
+    double bus_turnaround = 0.0;
+
     /** DRAM bus occupancy: DmaIn and DmaOut serialise on it. */
-    double dram() const { return dma_in + dma_out; }
+    double dram() const { return dma_in + dma_out + bus_turnaround; }
 
     /** Slowest stage: what a steady-state interval costs. */
     double
@@ -143,6 +151,16 @@ struct MemoryPipelineConfig
 
     /** Transposer units shared by all tiles (paper Table 2: 15). */
     int transposers = 15;
+
+    /** Mix every result-affecting field into a task fingerprint. */
+    void
+    hashInto(FnvHasher &h) const
+    {
+        h.f64(chunk_bytes);
+        h.u64(staging_bytes);
+        h.i64(staging_banks);
+        h.i64(transposers);
+    }
 };
 
 /**

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hashing.hh"
 #include "sim/mux_pattern.hh"
 #include "sim/scheduler.hh"
 #include "sim/stream.hh"
@@ -36,6 +37,17 @@ struct TileConfig
     int lanes = 16;
     int depth = 3;
     InterconnectKind interconnect = InterconnectKind::Paper;
+
+    /** Mix every result-affecting field into a task fingerprint. */
+    void
+    hashInto(FnvHasher &h) const
+    {
+        h.i64(rows);
+        h.i64(cols);
+        h.i64(lanes);
+        h.i64(depth);
+        h.i64((int)interconnect);
+    }
 };
 
 /**

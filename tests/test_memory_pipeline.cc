@@ -318,5 +318,91 @@ TEST(AcceleratorMemory, StallCyclesFeedTheEnergyModel)
     EXPECT_DOUBLE_EQ(es.dram_j, ea.dram_j);
 }
 
+TEST(BusTurnaround, ZeroPenaltyIsTheIdealBusBitForBit)
+{
+    // turnaround_cycles = 0 (the default) must reproduce the previous
+    // timing exactly, on every field.
+    DramConfig ideal;
+    DramConfig zero;
+    zero.turnaround_cycles = 0.0;
+    MemoryPipeline a(MemoryPipelineConfig{}, ideal, 0.5);
+    MemoryPipeline b(MemoryPipelineConfig{}, zero, 0.5);
+    StageDemands d;
+    d.dma_in_bytes = 5.0 * a.effectiveChunkBytes();
+    d.dma_out_bytes = 2.0 * a.effectiveChunkBytes();
+    d.transpose_groups = 1000.0;
+    d.compute_cycles = 5000.0;
+    PipelineTiming ta = a.resolve(d);
+    PipelineTiming tb = b.resolve(d);
+    EXPECT_EQ(ta.cycles, tb.cycles);
+    EXPECT_EQ(ta.mem_stall_cycles, tb.mem_stall_cycles);
+    EXPECT_EQ(ta.dram_busy_cycles, tb.dram_busy_cycles);
+    EXPECT_EQ(ta.steady.bus_turnaround, 0.0);
+}
+
+TEST(BusTurnaround, ChargedOnlyWhenBothDirectionsStream)
+{
+    DramConfig dram;
+    dram.turnaround_cycles = 8.0;
+    MemoryPipeline p(MemoryPipelineConfig{}, dram, 0.5);
+    MemoryPipeline ideal(MemoryPipelineConfig{}, DramConfig{}, 0.5);
+
+    // One-way traffic never reverses the bus: identical timing.
+    StageDemands read_only;
+    read_only.dma_in_bytes = 4.0 * p.effectiveChunkBytes();
+    read_only.compute_cycles = 2000.0;
+    EXPECT_EQ(p.resolve(read_only).cycles,
+              ideal.resolve(read_only).cycles);
+    EXPECT_EQ(p.resolve(read_only).steady.bus_turnaround, 0.0);
+
+    // Both directions: every interval pays two reversals (read ->
+    // write for the write-back, write -> read for the next DmaIn).
+    StageDemands both = read_only;
+    both.dma_out_bytes = 2.0 * p.effectiveChunkBytes();
+    PipelineTiming t = p.resolve(both);
+    PipelineTiming t0 = ideal.resolve(both);
+    EXPECT_EQ(t.steady.bus_turnaround, 16.0);
+    EXPECT_GT(t.cycles, t0.cycles);
+    EXPECT_GT(t.mem_stall_cycles, t0.mem_stall_cycles);
+    // The bus is additionally occupied for 2 x 8 cycles per interval.
+    EXPECT_NEAR(t.dram_busy_cycles - t0.dram_busy_cycles,
+                16.0 * t.intervals, 1e-9);
+}
+
+TEST(BusTurnaround, PenaltyCanMakeAnOpMemoryBound)
+{
+    // A steady state just under the DRAM roofline tips over it once
+    // the turnaround penalty joins the bus occupancy.
+    DramConfig dram;
+    MemoryPipelineConfig cfg;
+    MemoryPipeline ideal(cfg, dram, 0.5);
+    StageDemands d;
+    d.dma_in_bytes = 6.0 * ideal.effectiveChunkBytes();
+    d.dma_out_bytes = 2.0 * ideal.effectiveChunkBytes();
+    PipelineTiming t0 = ideal.resolve(d);
+    // Compute slightly above the per-interval DRAM time: compute bound.
+    d.compute_cycles = t0.steady.dram() * t0.intervals * 1.05;
+    t0 = ideal.resolve(d);
+    ASSERT_FALSE(t0.memory_bound);
+
+    dram.turnaround_cycles =
+        0.1 * t0.steady.dram(); // 2 x 10% tips the balance
+    MemoryPipeline slow(cfg, dram, 0.5);
+    PipelineTiming t = slow.resolve(d);
+    EXPECT_TRUE(t.memory_bound);
+    EXPECT_GT(t.cycles, t0.cycles);
+}
+
+TEST(BusTurnaround, NegativePenaltyRejected)
+{
+    setLogThrowMode(true);
+    DramConfig dram;
+    dram.turnaround_cycles = -1.0;
+    EXPECT_THROW(DramModel{dram}, SimError);
+    EXPECT_THROW(MemoryPipeline(MemoryPipelineConfig{}, dram, 0.5),
+                 SimError);
+    setLogThrowMode(false);
+}
+
 } // namespace
 } // namespace tensordash

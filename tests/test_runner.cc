@@ -25,6 +25,11 @@ fastConfig()
     // MemoryPipelineModel.* in test_memory_pipeline.cc and the
     // pipelined engine tests further down.
     cfg.accel.memory_model = MemoryModel::Analytic;
+    // Engine tests compare repeated runs of the same configuration;
+    // memoisation would serve the second run from the first and mask
+    // any thread-count-dependent bug.  Caching has its own coverage in
+    // test_result_store.cc.
+    cfg.cache = false;
     return cfg;
 }
 
@@ -388,6 +393,32 @@ TEST(RunnerEngine, EmptyModelPanics)
     empty.name = "empty";
     ModelRunner runner(fastConfig());
     EXPECT_THROW(runner.run(empty), SimError);
+    setLogThrowMode(false);
+}
+
+TEST(RunnerEngine, NegativeThreadCountPanics)
+{
+    // A negative count used to fall through to the pool sizing path
+    // and silently behave like "use the whole pool"; it must be
+    // rejected at the API boundary instead.
+    setLogThrowMode(true);
+    RunConfig cfg = fastConfig();
+    cfg.threads = -1;
+    ModelRunner runner(cfg);
+    EXPECT_THROW(runner.runByName("SqueezeNet"), SimError);
+    cfg.threads = -1000;
+    EXPECT_THROW(ModelRunner(cfg).runByName("SqueezeNet"), SimError);
+    setLogThrowMode(false);
+}
+
+TEST(RunnerEngine, InvalidShardPanics)
+{
+    setLogThrowMode(true);
+    ModelRunner runner(fastConfig());
+    const std::vector<ModelProfile> models = {
+        ModelZoo::byName("SqueezeNet")};
+    EXPECT_THROW(runner.runMany(models, {}, Shard{0, 0}), SimError);
+    EXPECT_THROW(runner.runMany(models, {}, Shard{2, 2}), SimError);
     setLogThrowMode(false);
 }
 
