@@ -4,7 +4,9 @@
  * the sparse interconnect (DESIGN.md section 3).  Compares dense-only
  * (no movement), lookahead-only, the paper's 8-option pattern, a full
  * crossbar (idealised), and the Auto side policy that may schedule the
- * weight side for pruned models.
+ * weight side for pruned models.  The five design points are one
+ * config axis of a declarative sweep, so the whole ablation runs as a
+ * single cached, shardable task grid.
  */
 
 #include "bench_util.hh"
@@ -12,8 +14,10 @@
 using namespace tensordash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Interconnect ablation",
                   "movement options vs speedup (geomean over suite)");
 
@@ -37,21 +41,30 @@ main()
          FwdSide::Activations, BwdDataSide::Gradients},
     };
 
-    Table t;
-    t.header({"interconnect", "geomean speedup"});
-    for (const auto &v : variants) {
-        RunConfig cfg = bench::defaultRunConfig();
-        cfg.accel.max_sampled_macs = bench::sampleBudget(150000, 50000);
-        cfg.accel.tile.interconnect = v.kind;
-        cfg.accel.fwd_side = v.fwd;
-        cfg.accel.bwd_data_side = v.bwd;
-        ModelRunner runner(cfg);
-        std::vector<double> speedups;
-        for (const auto &model : ModelZoo::paperModels())
-            speedups.push_back(runner.run(model).speedup());
-        t.row({v.name, fmtSpeedup(geomean(speedups))});
-    }
-    t.print();
+    SweepSpec spec;
+    spec.models = ModelZoo::paperModels();
+    std::vector<AxisOption> options;
+    for (const Variant &v : variants)
+        options.push_back({v.name, [v](RunConfig &cfg) {
+                               cfg.accel.tile.interconnect = v.kind;
+                               cfg.accel.fwd_side = v.fwd;
+                               cfg.accel.bwd_data_side = v.bwd;
+                           }});
+    spec.axes = {axis("interconnect", std::move(options))};
+
+    RunConfig cfg = bench::defaultRunConfig(opts);
+    cfg.accel.max_sampled_macs = bench::sampleBudget(150000, 50000);
+    ModelRunner runner(cfg);
+
+    bench::sweepFigure(opts, runner, spec,
+                       [&](const SweepResult &sweep) {
+        Table t;
+        t.header({"interconnect", "geomean speedup"});
+        for (size_t v = 0; v < sweep.variantCount(); ++v)
+            t.row({variants[v].name,
+                   fmtSpeedup(sweep.geomeanSpeedup(0, v))});
+        return t;
+    });
     bench::reference("the paper argues the restricted 8-option "
                      "interconnect captures most of an unrestricted "
                      "crossbar's benefit at a fraction of the cost; "

@@ -3,6 +3,11 @@
  * Sections 3.6/3.7: memory compression with the scheduled (value, idx)
  * form and the backside scheduler, compared against CompressingDMA,
  * across the model suite's tensors.
+ *
+ * Rides the shared bench harness: per-model packings are independent,
+ * so they run as tasks on the shared pool (--threads) and the table
+ * assembles in suite order; --reps/--csv behave like every other
+ * figure.
  */
 
 #include "bench_util.hh"
@@ -14,8 +19,8 @@ using namespace tensordash;
 namespace {
 
 /** Pack a tensor's channel-blocked stream and report the ratios. */
-void
-reportModel(Table &t, const ModelProfile &model)
+std::vector<std::string>
+reportModel(const ModelProfile &model)
 {
     Rng rng(5);
     const LayerSpec &layer = model.layers[model.layers.size() / 2];
@@ -57,25 +62,36 @@ reportModel(Table &t, const ModelProfile &model)
     std::vector<float> flat(acts.data(), acts.data() + acts.size());
     dma_bytes = CompressingDma::compress(flat, 4).size();
 
-    t.row({model.name, fmtPercent(acts.sparsity(), 1),
-           fmtDouble((double)dense_bytes / packed_bytes, 2) + "x",
-           fmtDouble((double)dense_bytes / dma_bytes, 2) + "x",
-           fmtDouble((double)backside_cycles / blocks, 1)});
+    return {model.name, fmtPercent(acts.sparsity(), 1),
+            fmtDouble((double)dense_bytes / packed_bytes, 2) + "x",
+            fmtDouble((double)dense_bytes / dma_bytes, 2) + "x",
+            fmtDouble((double)backside_cycles / blocks, 1)};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Options opts = bench::parseArgs(argc, argv);
     bench::banner("Scheduled-form compression (sections 3.6/3.7)",
                   "footprint vs CompressingDMA, backside timing");
-    Table t;
-    t.header({"model", "act sparsity", "scheduled-form",
-              "CompressingDMA", "backside cyc/row"});
-    for (const auto &model : ModelZoo::paperModels())
-        reportModel(t, model);
-    t.print();
+    const auto models = ModelZoo::paperModels();
+
+    bench::runFigure(opts, [&] {
+        // Each model packs independently; rows land in suite order.
+        std::vector<std::vector<std::string>> rows(models.size());
+        ThreadPool::shared().parallelFor(
+            models.size(),
+            [&](size_t m) { rows[m] = reportModel(models[m]); },
+            opts.threads);
+        Table t;
+        t.header({"model", "act sparsity", "scheduled-form",
+                  "CompressingDMA", "backside cyc/row"});
+        for (const auto &row : rows)
+            t.row(row);
+        return t;
+    });
     bench::reference("storing tensors in scheduled form reduces "
                      "footprint and read accesses when sparsity is "
                      "sufficient; the iterative backside scheduler "

@@ -76,8 +76,8 @@ defaultRunConfig()
  *                    processes (default: the TD_CACHE environment
  *                    variable; in-memory memoisation is always on)
  *
- * Figures built on one runMany() sweep additionally accept the
- * sharding CLI (see sweepFigure):
+ * Figures built on one runSweep()/runMany() sweep additionally accept
+ * the sharding CLI (see sweepFigure):
  *
  *   --shard i/N      simulate only shard i of the task grid
  *   --shard-out F    write the partial sweep to F (binary)
@@ -283,13 +283,15 @@ reportCache(const SweepResult &sweep)
 }
 
 /**
- * Drive one runMany()-backed figure through the sharding CLI:
+ * Drive one declarative sweep figure through the sharding CLI:
  *
  *  - --merge F...: load and merge the shard files, render the figure
  *    from the merged sweep, simulate nothing.  Byte-identical CSV to
  *    an unsharded run (the merged grid re-reduces in serial order).
- *  - --shard i/N: simulate only shard i and serialize the partial
- *    sweep to --shard-out; no table is rendered.
+ *  - --shard i/N: simulate only shard i of the full (variant x model
+ *    x progress x layer) grid — a config-axis figure shards across
+ *    its axis points too — and serialize the partial sweep to
+ *    --shard-out; no table is rendered.
  *  - neither: the plain runFigure() loop.
  *
  * @param render  callable SweepResult -> Table
@@ -297,8 +299,7 @@ reportCache(const SweepResult &sweep)
 template <typename RenderFn>
 inline void
 sweepFigure(const Options &opts, const ModelRunner &runner,
-            std::span<const ModelProfile> models,
-            std::span<const double> points, RenderFn &&render)
+            const SweepSpec &spec, RenderFn &&render)
 {
     if (!opts.merge.empty()) {
         SweepResult merged;
@@ -317,6 +318,19 @@ sweepFigure(const Options &opts, const ModelRunner &runner,
             else
                 merged.merge(shard);
         }
+        // Shard files self-agree by fingerprint, but nothing so far
+        // ties them to *this* figure: check them against the grid the
+        // spec expands to (cheap — key hashing, no simulation) before
+        // rendering with figure-local axis metadata.
+        uint64_t expected = runner.sweepFingerprint(spec);
+        if (merged.fingerprint != expected) {
+            TD_FATAL("shard files describe a different sweep "
+                     "(fingerprint %016llx, this figure expects "
+                     "%016llx): produced by another figure, "
+                     "configuration, or format version",
+                     (unsigned long long)merged.fingerprint,
+                     (unsigned long long)expected);
+        }
         if (!merged.complete()) {
             TD_FATAL("merged sweep covers only %zu of %zu tasks; "
                      "pass every shard via --merge",
@@ -332,7 +346,7 @@ sweepFigure(const Options &opts, const ModelRunner &runner,
     if (opts.shard_count > 1) {
         Shard shard{opts.shard_index, opts.shard_count};
         auto start = std::chrono::steady_clock::now();
-        SweepResult sweep = runner.runMany(models, points, shard);
+        SweepResult sweep = runner.runSweep(spec, shard);
         double ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
@@ -347,10 +361,26 @@ sweepFigure(const Options &opts, const ModelRunner &runner,
         return;
     }
     runFigure(opts, [&] {
-        SweepResult sweep = runner.runMany(models, points);
+        SweepResult sweep = runner.runSweep(spec);
         reportCache(sweep);
         return render(sweep);
     });
+}
+
+/**
+ * Single-variant convenience: drive a plain (model x progress) sweep
+ * — no config axes — through the same sharding CLI.
+ */
+template <typename RenderFn>
+inline void
+sweepFigure(const Options &opts, const ModelRunner &runner,
+            std::span<const ModelProfile> models,
+            std::span<const double> points, RenderFn &&render)
+{
+    SweepSpec spec;
+    spec.models.assign(models.begin(), models.end());
+    spec.progress_points.assign(points.begin(), points.end());
+    sweepFigure(opts, runner, spec, std::forward<RenderFn>(render));
 }
 
 /** Print the figure banner. */

@@ -3,6 +3,10 @@
  * Fig. 17: TensorDash speedup vs the number of PE rows per tile
  * (columns fixed at 4).  More rows sharing one window means more
  * frequent work-imbalance stalls.
+ *
+ * One declarative sweep: the row count is a config axis, so all five
+ * geometries expand into a single task grid that caches, shards and
+ * load-balances as a unit.
  */
 
 #include "bench_util.hh"
@@ -12,33 +16,36 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Fig. 17", "speedup vs PE rows per tile (cols = 4)");
-    const int row_counts[] = {1, 2, 4, 8, 16};
-    const auto models = ModelZoo::paperModels();
 
-    bench::runFigure(opts, [&] {
-        // One whole-suite batch per geometry; all five share the pool.
-        std::vector<SweepResult> sweeps;
-        for (int rows : row_counts) {
-            RunConfig cfg = bench::defaultRunConfig(opts);
-            cfg.accel.max_sampled_macs =
-                bench::sampleBudget(250000, 60000);
-            cfg.accel.tile.rows = rows;
-            sweeps.push_back(ModelRunner(cfg).runMany(models));
-        }
+    SweepSpec spec;
+    spec.models = ModelZoo::paperModels();
+    spec.axes = {axis("rows", {1, 2, 4, 8, 16},
+                      [](RunConfig &cfg, int rows) {
+                          cfg.accel.tile.rows = rows;
+                      })};
+
+    RunConfig cfg = bench::defaultRunConfig(opts);
+    cfg.accel.max_sampled_macs = bench::sampleBudget(250000, 60000);
+    ModelRunner runner(cfg);
+
+    bench::sweepFigure(opts, runner, spec,
+                       [&](const SweepResult &sweep) {
         Table t;
         t.header({"model", "1Row", "2Rows", "4Rows", "8Rows",
                   "16Rows"});
-        for (size_t m = 0; m < models.size(); ++m) {
-            std::vector<std::string> row = {models[m].name};
-            for (const SweepResult &sweep : sweeps)
-                row.push_back(fmtDouble(sweep.at(m).speedup(), 2));
+        for (size_t m = 0; m < sweep.modelCount(); ++m) {
+            std::vector<std::string> row = {sweep.models[m]};
+            for (size_t v = 0; v < sweep.variantCount(); ++v)
+                row.push_back(fmtDouble(sweep.at(m, 0, v).speedup(),
+                                        2));
             t.row(row);
         }
         std::vector<std::string> mean_row = {"average"};
-        for (const SweepResult &sweep : sweeps)
-            mean_row.push_back(fmtDouble(sweep.meanSpeedup(), 2));
+        for (size_t v = 0; v < sweep.variantCount(); ++v)
+            mean_row.push_back(fmtDouble(sweep.meanSpeedup(0, v), 2));
         t.row(mean_row);
         return t;
     });

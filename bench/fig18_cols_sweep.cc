@@ -12,32 +12,36 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Fig. 18",
                   "speedup vs PE columns per tile (rows = 4)");
-    const int col_counts[] = {4, 16};
-    const auto models = ModelZoo::paperModels();
 
-    bench::runFigure(opts, [&] {
-        std::vector<SweepResult> sweeps;
-        for (int cols : col_counts) {
-            RunConfig cfg = bench::defaultRunConfig(opts);
-            cfg.accel.max_sampled_macs =
-                bench::sampleBudget(250000, 60000);
-            cfg.accel.tile.cols = cols;
-            sweeps.push_back(ModelRunner(cfg).runMany(models));
-        }
+    SweepSpec spec;
+    spec.models = ModelZoo::paperModels();
+    spec.axes = {axis("cols", {4, 16},
+                      [](RunConfig &cfg, int cols) {
+                          cfg.accel.tile.cols = cols;
+                      })};
+
+    RunConfig cfg = bench::defaultRunConfig(opts);
+    cfg.accel.max_sampled_macs = bench::sampleBudget(250000, 60000);
+    ModelRunner runner(cfg);
+
+    bench::sweepFigure(opts, runner, spec,
+                       [&](const SweepResult &sweep) {
         Table t;
         t.header({"model", "4 Columns", "16 Columns"});
-        for (size_t m = 0; m < models.size(); ++m) {
-            std::vector<std::string> row = {models[m].name};
-            for (const SweepResult &sweep : sweeps)
-                row.push_back(fmtDouble(sweep.at(m).speedup(), 2));
+        for (size_t m = 0; m < sweep.modelCount(); ++m) {
+            std::vector<std::string> row = {sweep.models[m]};
+            for (size_t v = 0; v < sweep.variantCount(); ++v)
+                row.push_back(fmtDouble(sweep.at(m, 0, v).speedup(),
+                                        2));
             t.row(row);
         }
         std::vector<std::string> mean_row = {"average"};
-        for (const SweepResult &sweep : sweeps)
-            mean_row.push_back(fmtDouble(sweep.meanSpeedup(), 2));
+        for (size_t v = 0; v < sweep.variantCount(); ++v)
+            mean_row.push_back(fmtDouble(sweep.meanSpeedup(0, v), 2));
         t.row(mean_row);
         return t;
     });

@@ -12,31 +12,33 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Fig. 19", "staging buffer depth 2 vs 3");
-    const char *names[] = {"DenseNet121", "SqueezeNet", "img2txt",
-                           "resnet50_DS90"};
-    std::vector<ModelProfile> models;
-    for (const char *name : names)
-        models.push_back(ModelZoo::byName(name));
 
-    bench::runFigure(opts, [&] {
-        std::vector<SweepResult> sweeps;
-        for (int depth : {2, 3}) {
-            RunConfig cfg = bench::defaultRunConfig(opts);
-            cfg.accel.max_sampled_macs =
-                bench::sampleBudget(400000, 80000);
-            cfg.accel.tile.depth = depth;
-            sweeps.push_back(ModelRunner(cfg).runMany(models));
-        }
+    SweepSpec spec;
+    for (const char *name : {"DenseNet121", "SqueezeNet", "img2txt",
+                             "resnet50_DS90"})
+        spec.models.push_back(ModelZoo::byName(name));
+    spec.axes = {axis("depth", {2, 3},
+                      [](RunConfig &cfg, int depth) {
+                          cfg.accel.tile.depth = depth;
+                      })};
+
+    RunConfig cfg = bench::defaultRunConfig(opts);
+    cfg.accel.max_sampled_macs = bench::sampleBudget(400000, 80000);
+    ModelRunner runner(cfg);
+
+    bench::sweepFigure(opts, runner, spec,
+                       [&](const SweepResult &sweep) {
         Table t;
         t.header({"model", "2-Deep", "3-Deep"});
-        for (size_t m = 0; m < models.size(); ++m)
-            t.row({models[m].name,
-                   fmtDouble(sweeps[0].at(m).speedup(), 2),
-                   fmtDouble(sweeps[1].at(m).speedup(), 2)});
-        t.row({"Geom", fmtDouble(sweeps[0].geomeanSpeedup(), 2),
-               fmtDouble(sweeps[1].geomeanSpeedup(), 2)});
+        for (size_t m = 0; m < sweep.modelCount(); ++m)
+            t.row({sweep.models[m],
+                   fmtDouble(sweep.at(m, 0, 0).speedup(), 2),
+                   fmtDouble(sweep.at(m, 0, 1).speedup(), 2)});
+        t.row({"Geom", fmtDouble(sweep.geomeanSpeedup(0, 0), 2),
+               fmtDouble(sweep.geomeanSpeedup(0, 1), 2)});
         return t;
     });
     bench::reference("2-deep staging (5 movements/multiplier) yields "

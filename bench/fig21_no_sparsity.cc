@@ -4,7 +4,7 @@
  * power gating TensorDash gains ~1% performance and loses ~0.5%
  * energy efficiency; with the automatic power gating of section 3.5
  * nothing is lost.  The gated run exercises the engine's two-phase
- * observe/run pipeline.
+ * observe/run pipeline; gating is a one-axis sweep.
  */
 
 #include "bench_util.hh"
@@ -14,22 +14,39 @@ using namespace tensordash;
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("GCN (no sparsity)",
                   "behaviour on a model with virtually no zeros");
-    ModelProfile gcn = ModelZoo::gcn();
 
-    bench::runFigure(opts, [&] {
+    // Single source for the axis options and the rendered row labels.
+    struct GateOption
+    {
+        const char *name;
+        bool gating;
+    };
+    const GateOption options[] = {{"no power gating", false},
+                                  {"with power gating", true}};
+
+    SweepSpec spec;
+    spec.models = {ModelZoo::gcn()};
+    std::vector<AxisOption> axis_options;
+    for (const GateOption &o : options)
+        axis_options.push_back({o.name, [o](RunConfig &cfg) {
+                                    cfg.accel.power_gating = o.gating;
+                                }});
+    spec.axes = {axis("power gating", std::move(axis_options))};
+
+    ModelRunner runner(bench::defaultRunConfig(opts));
+
+    bench::sweepFigure(opts, runner, spec,
+                       [&](const SweepResult &sweep) {
         Table t;
         t.header({"configuration", "speedup", "core eff.",
                   "overall eff."});
-        for (bool gating : {false, true}) {
-            RunConfig cfg = bench::defaultRunConfig(opts);
-            cfg.accel.power_gating = gating;
-            ModelRunner runner(cfg);
-            ModelRunResult r = runner.run(gcn);
-            t.row({gating ? "with power gating" : "no power gating",
-                   fmtSpeedup(r.speedup()),
+        for (size_t v = 0; v < sweep.variantCount(); ++v) {
+            const ModelRunResult &r = sweep.at(0, 0, v);
+            t.row({options[v].name, fmtSpeedup(r.speedup()),
                    fmtSpeedup(r.coreEfficiency()),
                    fmtSpeedup(r.overallEfficiency())});
         }

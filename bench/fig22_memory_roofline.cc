@@ -22,15 +22,16 @@ namespace {
 /** Majority-stalled = the op has crossed into the memory regime. */
 constexpr double kStallThreshold = 0.5;
 
-/** Mean per-op stall fraction across the model suite. */
+/** Mean per-op stall fraction across the model suite at one config
+ * variant. */
 double
-meanOpStall(const SweepResult &sweep, int op)
+meanOpStall(const SweepResult &sweep, int op, size_t variant)
 {
     double sum = 0.0;
     for (size_t m = 0; m < sweep.modelCount(); ++m) {
-        const OpResult &r = op < 3 ? sweep.at(m).ops[(size_t)op]
-                                   : sweep.at(m).total;
-        sum += r.memoryStallFraction();
+        const ModelRunResult &r = sweep.at(m, 0, variant);
+        const OpResult &res = op < 3 ? r.ops[(size_t)op] : r.total;
+        sum += res.memoryStallFraction();
     }
     return sweep.modelCount() ? sum / (double)sweep.modelCount() : 0.0;
 }
@@ -40,44 +41,46 @@ meanOpStall(const SweepResult &sweep, int op)
 int
 main(int argc, char **argv)
 {
-    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::Options opts = bench::parseArgs(argc, argv,
+                                           /*sharding=*/true);
     bench::banner("Fig. 22",
                   "memory roofline: MAC throughput vs DRAM bandwidth");
-    const int tile_counts[] = {1, 2, 4, 8, 16, 32};
-    const auto models = ModelZoo::paperModels();
+    // Single source for the axis values and the rendered rows.
+    const std::vector<int> tile_counts = {1, 2, 4, 8, 16, 32};
 
-    bench::runFigure(opts, [&] {
-        std::vector<SweepResult> sweeps;
-        double bytes_per_cycle = 0.0;
-        for (int tiles : tile_counts) {
-            RunConfig cfg = bench::defaultRunConfig(opts);
-            cfg.accel.max_sampled_macs =
-                bench::sampleBudget(250000, 60000);
-            cfg.accel.tiles = tiles;
-            cfg.accel.memory_model = MemoryModel::Pipelined;
-            bytes_per_cycle = DramModel(cfg.accel.dram)
-                                  .bytesPerCycle(cfg.accel.freq_ghz);
-            sweeps.push_back(ModelRunner(cfg).runMany(models));
-        }
+    SweepSpec spec;
+    spec.models = ModelZoo::paperModels();
+    spec.axes = {axis("tiles", tile_counts,
+                      [](RunConfig &cfg, int tiles) {
+                          cfg.accel.tiles = tiles;
+                      })};
 
+    RunConfig cfg = bench::defaultRunConfig(opts);
+    cfg.accel.max_sampled_macs = bench::sampleBudget(250000, 60000);
+    cfg.accel.memory_model = MemoryModel::Pipelined;
+    const double bytes_per_cycle =
+        DramModel(cfg.accel.dram).bytesPerCycle(cfg.accel.freq_ghz);
+    ModelRunner runner(cfg);
+
+    bench::sweepFigure(opts, runner, spec,
+                       [&](const SweepResult &sweep) {
         Table t;
         t.header({"tiles", "MACs/cyc", "B/cyc", "AxW stall",
                   "AxG stall", "WxG stall", "Total stall", "speedup"});
         // First DRAM-limited array size per op (-1 = never in sweep).
         int crossover[4] = {-1, -1, -1, -1};
-        for (size_t i = 0; i < sweeps.size(); ++i) {
-            const SweepResult &sweep = sweeps[i];
+        for (size_t v = 0; v < sweep.variantCount(); ++v) {
             std::vector<std::string> row = {
-                fmtDouble(tile_counts[i], 0),
-                fmtDouble(tile_counts[i] * 256.0, 0),
+                fmtDouble(tile_counts[v], 0),
+                fmtDouble(tile_counts[v] * 256.0, 0),
                 fmtDouble(bytes_per_cycle, 1)};
             for (int op = 0; op < 4; ++op) {
-                double stall = meanOpStall(sweep, op);
+                double stall = meanOpStall(sweep, op, v);
                 row.push_back(fmtPercent(stall));
                 if (crossover[op] < 0 && stall >= kStallThreshold)
-                    crossover[op] = tile_counts[i];
+                    crossover[op] = tile_counts[v];
             }
-            row.push_back(fmtSpeedup(sweep.meanSpeedup()));
+            row.push_back(fmtSpeedup(sweep.meanSpeedup(0, v)));
             t.row(row);
         }
         std::vector<std::string> cross = {"crossover", "", ""};

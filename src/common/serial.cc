@@ -24,6 +24,21 @@ readFileBytes(const std::string &path, std::vector<uint8_t> *out)
 }
 
 bool
+readFileHead(const std::string &path, size_t max_bytes,
+             std::vector<uint8_t> *out)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out->assign(max_bytes, 0);
+    size_t n = std::fread(out->data(), 1, max_bytes, f);
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    out->resize(n);
+    return ok;
+}
+
+bool
 writeFileBytes(const std::string &path, const std::vector<uint8_t> &data)
 {
     // Unique temp name per writer: concurrent tasks (or processes

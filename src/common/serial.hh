@@ -145,6 +145,15 @@ class ByteReader
 bool readFileBytes(const std::string &path, std::vector<uint8_t> *out);
 
 /**
+ * Read at most the first @p max_bytes of a file into @p out (the file
+ * may be shorter).  Cache-inspection tools read just the fixed-size
+ * blob header this way instead of pulling whole entries into memory.
+ * @return false on any I/O error.
+ */
+bool readFileHead(const std::string &path, size_t max_bytes,
+                  std::vector<uint8_t> *out);
+
+/**
  * Write @p data to @p path atomically (temp file + rename), so a
  * concurrent reader — another sweep process sharing the cache dir —
  * never observes a half-written blob.  @return false on I/O error.

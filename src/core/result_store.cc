@@ -1,6 +1,11 @@
 #include "core/result_store.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include <sys/stat.h>
 
 #include "common/logging.hh"
 
@@ -11,6 +16,12 @@ namespace {
 /** Disk entry header: magic + format version + the key itself (an
  * integrity check against hash-named files moved between dirs). */
 constexpr uint32_t kEntryMagic = 0x524c4454; // "TDLR" little-endian
+
+/** Header bytes: magic u32 + version u32 + key u64. */
+constexpr size_t kEntryHeaderBytes = 16;
+
+/** File extension of cache entries under a cache directory. */
+constexpr const char *kEntryExtension = ".tdlr";
 
 } // namespace
 
@@ -95,7 +106,66 @@ ResultStore::clearMemo()
 std::string
 ResultStore::entryPath(const std::string &dir, const TaskKey &key)
 {
-    return dir + "/" + key.hex() + ".tdlr";
+    return dir + "/" + key.hex() + kEntryExtension;
+}
+
+std::vector<CacheEntryInfo>
+ResultStore::listDir(const std::string &dir)
+{
+    std::vector<CacheEntryInfo> entries;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec) ||
+            de.path().extension() != kEntryExtension)
+            continue;
+        CacheEntryInfo info;
+        info.path = de.path().string();
+        struct stat st;
+        if (::stat(info.path.c_str(), &st) != 0)
+            continue; // raced with a concurrent prune/rename
+        info.bytes = (uint64_t)st.st_size;
+        info.mtime = (int64_t)st.st_mtime;
+        std::vector<uint8_t> head;
+        if (readFileHead(info.path, kEntryHeaderBytes, &head)) {
+            ByteReader r(head);
+            uint32_t magic = r.u32();
+            info.version = r.u32();
+            info.key = r.u64();
+            info.valid = r.ok() && magic == kEntryMagic;
+        }
+        entries.push_back(std::move(info));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const CacheEntryInfo &a, const CacheEntryInfo &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    return entries;
+}
+
+CachePruneStats
+ResultStore::prune(const std::string &dir, uint64_t max_bytes)
+{
+    CachePruneStats stats;
+    std::vector<CacheEntryInfo> entries = listDir(dir);
+    stats.scanned = entries.size();
+    for (const CacheEntryInfo &e : entries)
+        stats.scanned_bytes += e.bytes;
+    uint64_t remaining = stats.scanned_bytes;
+    for (const CacheEntryInfo &e : entries) {
+        if (remaining <= max_bytes)
+            break;
+        std::error_code ec;
+        if (!std::filesystem::remove(e.path, ec) || ec) {
+            TD_WARN("cannot evict cache entry '%s'", e.path.c_str());
+            continue;
+        }
+        remaining -= e.bytes;
+        stats.evicted += 1;
+        stats.evicted_bytes += e.bytes;
+    }
+    return stats;
 }
 
 std::string

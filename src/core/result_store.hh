@@ -26,13 +26,42 @@
  * directory.
  */
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/runner.hh"
 
 namespace tensordash {
+
+/**
+ * Metadata of one on-disk cache entry, read from the blob header and
+ * the filesystem (td-cache ls / prune).  Entries whose header cannot
+ * be read or whose magic is wrong are reported with valid == false
+ * rather than skipped, so a polluted directory is visible.
+ */
+struct CacheEntryInfo
+{
+    std::string path;
+    uint64_t key = 0;     ///< task key from the blob header
+    uint32_t version = 0; ///< blob format version from the header
+    uint64_t bytes = 0;   ///< file size
+    int64_t mtime = 0;    ///< last-modified, seconds since the epoch
+    bool valid = false;   ///< header present with the entry magic
+};
+
+/** What ResultStore::prune() did to a cache directory. */
+struct CachePruneStats
+{
+    size_t scanned = 0;        ///< entries found before pruning
+    uint64_t scanned_bytes = 0;
+    size_t evicted = 0;        ///< entries deleted (oldest mtime first)
+    uint64_t evicted_bytes = 0;
+
+    uint64_t remainingBytes() const { return scanned_bytes - evicted_bytes; }
+};
 
 /** Process-wide memo + optional on-disk cache of LayerResults. */
 class ResultStore
@@ -76,6 +105,24 @@ class ResultStore
      * else the TD_CACHE environment variable, else "" (memory only).
      */
     static std::string resolveDir(const std::string &configured);
+
+    /**
+     * Enumerate @p dir's cache entries (files with the entry
+     * extension), oldest mtime first (ties broken by path, so the
+     * order — and therefore prune's eviction choice — is
+     * deterministic).  A missing directory lists empty.
+     */
+    static std::vector<CacheEntryInfo> listDir(const std::string &dir);
+
+    /**
+     * Evict oldest-mtime entries from @p dir until the remaining
+     * entries total at most @p max_bytes (0 empties the directory).
+     * The store is append-only during simulation, so this is the only
+     * way a cache directory shrinks; eviction is always safe — a
+     * pruned entry simply re-simulates on next use.
+     */
+    static CachePruneStats prune(const std::string &dir,
+                                 uint64_t max_bytes);
 
   private:
     mutable std::mutex mu_;

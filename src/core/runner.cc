@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <utility>
 
 #include "common/logging.hh"
@@ -17,13 +18,42 @@ namespace {
 constexpr uint32_t kSweepMagic = 0x57534454;
 
 /**
- * One (model, progress) cell of a sweep.  The per-layer synthesis
- * streams (forked serially so synthesis is order-independent) are
- * owned per model and shared by all of its progress points.
+ * Upper bound on a sweep's expanded config variants: far above any
+ * real design-space figure (the paper's largest axis has six points),
+ * and low enough that a typo'd axis cannot allocate a giant grid.
+ */
+constexpr size_t kMaxVariants = 1 << 20;
+
+/**
+ * Fully expanded description of one task grid, borrowed from the
+ * caller for the duration of a run: the shared model/point lists plus
+ * one effective RunConfig and label per config variant.  runMany()
+ * supplies a single base variant; runSweep() materialises the cross
+ * product of its spec's axes.
+ */
+struct GridLayout
+{
+    std::span<const ModelProfile> models;
+    std::span<const double> points;
+    std::span<const RunConfig> variant_configs;
+    std::span<const std::string> variant_labels;
+
+    /** Custom synthesis hook (null = ModelZoo::synthesize). */
+    const SweepSpec::SynthesizeFn *synthesize = nullptr;
+    uint64_t synthesis_salt = 0;
+    bool estimate_out_sparsity = true;
+};
+
+/**
+ * One (variant, model, progress) cell of a sweep.  The per-layer
+ * synthesis streams (forked serially so synthesis is
+ * order-independent) are owned per (variant, model) — an axis may
+ * change the seed — and shared by all of that pair's progress points.
  */
 struct SweepUnit
 {
     const ModelProfile *model = nullptr;
+    const RunConfig *config = nullptr; ///< the variant's effective config
     double progress = 0.0;
     size_t first_task = 0; ///< offset of this unit in the task grid
     const std::vector<Rng> *layer_rngs = nullptr;
@@ -33,8 +63,8 @@ struct SweepUnit
  * Coordinates of one stateless simulation task.  A task covers one
  * layer and runs all three training convolutions on it: finer
  * per-(layer, op) tasks would synthesize each layer's tensors three
- * times over, and a (model x layer) grid already yields far more
- * tasks than threads.
+ * times over, and a (variant x model x layer) grid already yields far
+ * more tasks than threads.
  */
 struct SimTask
 {
@@ -62,9 +92,9 @@ synthesizeLayer(const SweepUnit &unit, size_t layer)
 /**
  * Run one layer's three ops on a task-private Accelerator: synthesize
  * -> (observe + freeze the gating table) -> lower -> simulate.
- * Depends only on the config and the unit — everything the TaskKey
- * fingerprints — so tasks run in any order on any thread and results
- * memoise exactly.
+ * Depends only on the variant's config and the unit — everything the
+ * TaskKey fingerprints — so tasks run in any order on any thread and
+ * results memoise exactly.
  *
  * The observe phase lives inside the task: gating decisions depend
  * only on the layer's own measured zero fractions (the serial driver
@@ -73,14 +103,18 @@ synthesizeLayer(const SweepUnit &unit, size_t layer)
  * anyway, and no cross-layer mutable state remains.
  */
 void
-simulateTask(const RunConfig &config, const SweepUnit &unit,
+simulateTask(const GridLayout &grid, const SweepUnit &unit,
              const SimTask &task, LayerResult *out)
 {
+    const RunConfig &config = *unit.config;
     AcceleratorConfig accel_cfg = config.accel;
     accel_cfg.wg_side = unit.model->wg_side;
     Accelerator accel(accel_cfg);
 
-    LayerTensors t = synthesizeLayer(unit, task.layer);
+    LayerTensors t = grid.synthesize
+        ? (*grid.synthesize)(config, *unit.model, task.layer,
+                             unit.progress)
+        : synthesizeLayer(unit, task.layer);
     if (config.accel.power_gating) {
         // Observe -> freeze: decisions are immutable before any op of
         // this layer simulates.
@@ -91,9 +125,13 @@ simulateTask(const RunConfig &config, const SweepUnit &unit,
         accel.powerGate().freezeFrom(obs);
     }
     // Output write-back sparsity estimates: O looks like this model's
-    // activations, GA like its gradients, GW is dense.
-    const double out_sparsity[3] = {t.acts.sparsity(),
-                                    t.grads.sparsity(), 0.0};
+    // activations, GA like its gradients, GW is dense.  Raw-tensor
+    // sweeps (estimate_out_sparsity false) write back dense instead.
+    double out_sparsity[3] = {0.0, 0.0, 0.0};
+    if (grid.estimate_out_sparsity) {
+        out_sparsity[0] = t.acts.sparsity();
+        out_sparsity[1] = t.grads.sparsity();
+    }
     for (int op = 0; op < 3; ++op) {
         out->ops[op] =
             accel.runConvOp((TrainOp)op, t.acts, t.weights, t.grads,
@@ -103,11 +141,204 @@ simulateTask(const RunConfig &config, const SweepUnit &unit,
     }
 }
 
+/**
+ * Content hash of one task grid: format version, variant labels,
+ * model names/layer counts, progress points, and every cell's TaskKey
+ * in serial (variant, model, progress, layer) order.  Shards merge
+ * only when their fingerprints match, and the bench merge driver
+ * checks loaded shard files against the expected grid's fingerprint.
+ *
+ * @param keys the grid's task keys in serial order when the caller
+ *        already computed them (runGrid); null recomputes them (the
+ *        simulation-free sweepFingerprint path).
+ */
+uint64_t
+gridFingerprint(const GridLayout &grid,
+                const std::vector<TaskKey> *keys = nullptr)
+{
+    FnvHasher fh;
+    fh.u64(kResultFormatVersion);
+    for (const std::string &label : grid.variant_labels)
+        fh.str(label);
+    for (const ModelProfile &model : grid.models) {
+        fh.str(model.name);
+        fh.u64(model.layers.size());
+    }
+    for (double p : grid.points)
+        fh.f64(p);
+    if (keys) {
+        for (const TaskKey &k : *keys)
+            fh.u64(k.value);
+        return fh.value();
+    }
+    for (const RunConfig &config : grid.variant_configs)
+        for (const ModelProfile &model : grid.models)
+            for (double progress : grid.points)
+                for (size_t l = 0; l < model.layers.size(); ++l)
+                    fh.u64(TaskKey::forLayer(
+                               config, model, l, progress,
+                               grid.synthesis_salt,
+                               grid.estimate_out_sparsity)
+                               .value);
+    return fh.value();
+}
+
+/**
+ * Simulate one fully expanded task grid: the shared engine behind
+ * runMany() and runSweep().  @p exec supplies the execution knobs
+ * (threads, cache, cache_dir); what is simulated comes entirely from
+ * @p grid's per-variant configs.
+ */
+SweepResult
+runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
+{
+    // A negative thread count would silently degrade to "whole pool"
+    // inside the pool sizing path; reject it here where the request
+    // was made.  Likewise an out-of-range shard would silently own
+    // zero cells.
+    TD_ASSERT(exec.threads >= 0,
+              "RunConfig::threads must be >= 0 (0 = the shared pool "
+              "default), got %d", exec.threads);
+    shard.validate();
+
+    SweepResult sweep;
+    sweep.progress_points.assign(grid.points.begin(),
+                                 grid.points.end());
+    sweep.memory_model = exec.accel.memory_model;
+    sweep.shard = shard;
+    for (size_t v = 0; v < grid.variant_configs.size(); ++v) {
+        sweep.variants.push_back(grid.variant_labels[v]);
+        sweep.variant_memory_models.push_back(
+            grid.variant_configs[v].accel.memory_model);
+    }
+    for (const ModelProfile &model : grid.models) {
+        TD_ASSERT(!model.layers.empty(), "model '%s' has no layers",
+                  model.name.c_str());
+        sweep.models.push_back(model.name);
+        sweep.model_layer_counts.push_back(
+            (uint32_t)model.layers.size());
+    }
+
+    // Fork the per-layer streams in serial layer order, which makes
+    // synthesis independent of task execution order.  One vector per
+    // (variant, model): an axis may move the seed, and every variant's
+    // streams must match what a single-variant run of its config
+    // forks.
+    std::vector<std::vector<Rng>> grid_rngs;
+    grid_rngs.reserve(grid.variant_configs.size() *
+                      grid.models.size());
+    for (const RunConfig &config : grid.variant_configs) {
+        for (const ModelProfile &model : grid.models) {
+            Rng rng(config.seed * 0x2545f4914f6cdd1dull + 1);
+            std::vector<Rng> layer_rngs;
+            layer_rngs.reserve(model.layers.size());
+            for (size_t l = 0; l < model.layers.size(); ++l)
+                layer_rngs.push_back(rng.fork());
+            grid_rngs.push_back(std::move(layer_rngs));
+        }
+    }
+
+    // Lay out the (variant x model x progress x layer) task grid and
+    // fingerprint every task under its variant's effective config.
+    // Keys are computed serially up front: they are cheap relative to
+    // simulation and the sweep fingerprint needs them all.
+    std::vector<SweepUnit> units;
+    std::vector<SimTask> tasks;
+    std::vector<TaskKey> keys;
+    for (size_t v = 0; v < grid.variant_configs.size(); ++v) {
+        const RunConfig &config = grid.variant_configs[v];
+        for (size_t m = 0; m < grid.models.size(); ++m) {
+            const ModelProfile &model = grid.models[m];
+            for (double progress : sweep.progress_points) {
+                SweepUnit unit;
+                unit.model = &model;
+                unit.config = &config;
+                unit.progress = progress;
+                unit.first_task = tasks.size();
+                unit.layer_rngs =
+                    &grid_rngs[v * grid.models.size() + m];
+                for (size_t l = 0; l < model.layers.size(); ++l) {
+                    uint64_t macs = model.layers[l].macsPerSample() *
+                                    (uint64_t)model.batch;
+                    tasks.push_back(
+                        {units.size(), l, tasks.size(), macs});
+                    keys.push_back(TaskKey::forLayer(
+                        config, model, l, progress,
+                        grid.synthesis_salt,
+                        grid.estimate_out_sparsity));
+                }
+                units.push_back(unit);
+            }
+        }
+    }
+
+    // The sweep fingerprint pins the whole grid: shards merge only
+    // when variants, models, points and every task key agree.
+    sweep.fingerprint = gridFingerprint(grid, &keys);
+
+    sweep.layer_results.resize(tasks.size());
+    sweep.present.assign(tasks.size(), 0);
+
+    // This shard's slice of the grid, claimed costliest-first so a
+    // huge layer picked up late cannot leave the pool tailing on one
+    // thread; tasks from every config variant interleave in the one
+    // claim loop.  Results land in pre-assigned slots and the reduce
+    // walks serial order, so neither the shard split nor the claim
+    // order ever affects the output.
+    std::vector<SimTask> owned;
+    owned.reserve(tasks.size() / shard.count + 1);
+    for (const SimTask &task : tasks)
+        if (shard.owns(task.slot))
+            owned.push_back(task);
+    std::stable_sort(owned.begin(), owned.end(),
+                     [](const SimTask &a, const SimTask &b) {
+                         return a.est_macs > b.est_macs;
+                     });
+
+    ResultStore *store = exec.cache ? &ResultStore::shared() : nullptr;
+    const std::string cache_dir =
+        store ? ResultStore::resolveDir(exec.cache_dir) : "";
+
+    // Run pass: one stateless task per owned layer, each consulting
+    // the result store before simulating and writing only its own
+    // grid slot.
+    std::atomic<size_t> cache_hits{0};
+    std::atomic<size_t> simulated{0};
+    ThreadPool &pool = ThreadPool::shared();
+    pool.parallelFor(
+        owned.size(),
+        [&](size_t i) {
+            const SimTask &task = owned[i];
+            LayerResult &out = sweep.layer_results[task.slot];
+            if (store &&
+                store->lookup(keys[task.slot], &out, cache_dir)) {
+                cache_hits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                simulateTask(grid, units[task.unit], task, &out);
+                simulated.fetch_add(1, std::memory_order_relaxed);
+                if (store)
+                    store->insert(keys[task.slot], out, cache_dir);
+            }
+            sweep.present[task.slot] = 1;
+        },
+        exec.threads);
+    sweep.cache_hits = cache_hits.load();
+    sweep.simulated = simulated.load();
+
+    // Reduce: merge in serial (layer, op) order, making the aggregates
+    // bit-identical to a single-threaded, uncached, unsharded run.  A
+    // partial shard skips this; its results materialise on merge().
+    if (sweep.complete())
+        sweep.reduce();
+    return sweep;
+}
+
 } // namespace
 
 TaskKey
 TaskKey::forLayer(const RunConfig &config, const ModelProfile &model,
-                  size_t layer, double progress)
+                  size_t layer, double progress,
+                  uint64_t synthesis_salt, bool estimate_out_sparsity)
 {
     TD_ASSERT(layer < model.layers.size(),
               "layer %zu out of range for model '%s' (%zu layers)",
@@ -127,6 +358,16 @@ TaskKey::forLayer(const RunConfig &config, const ModelProfile &model,
     h.i64(model.batch);
     model.sparsity.hashInto(h);
     model.layers[layer].hashInto(h);
+    // The sweep's synthesis contract: which generator produced the
+    // tensors and how the write-back was sized.  A custom hook (salt
+    // != 0) receives the whole ModelProfile and may legitimately
+    // derive tensors from the model's identity, so its cells also
+    // fingerprint the model name; the zoo path keeps the
+    // names-don't-matter property.
+    h.u64(synthesis_salt);
+    if (synthesis_salt != 0)
+        h.str(model.name);
+    h.b(estimate_out_sparsity);
     return TaskKey{h.value()};
 }
 
@@ -156,6 +397,95 @@ LayerResult::deserialize(ByteReader &r)
     }
 }
 
+SweepAxis
+axis(std::string label, std::vector<AxisOption> options)
+{
+    SweepAxis a;
+    a.label = std::move(label);
+    for (AxisOption &o : options) {
+        a.values.push_back(std::move(o.first));
+        a.apply.push_back(std::move(o.second));
+    }
+    return a;
+}
+
+size_t
+SweepSpec::variantCount() const
+{
+    size_t n = 1;
+    for (const SweepAxis &a : axes)
+        n *= a.size();
+    return n;
+}
+
+namespace {
+
+/** Per-axis value indices of variant @p v (first axis slowest). */
+std::vector<size_t>
+variantDigits(const std::vector<SweepAxis> &axes, size_t v)
+{
+    std::vector<size_t> digits(axes.size());
+    for (size_t i = axes.size(); i-- > 0;) {
+        TD_ASSERT(!axes[i].values.empty(), "axis '%s' has no values",
+                  axes[i].label.c_str());
+        digits[i] = v % axes[i].size();
+        v /= axes[i].size();
+    }
+    TD_ASSERT(v == 0, "variant index out of range");
+    return digits;
+}
+
+} // namespace
+
+std::string
+SweepSpec::variantLabel(size_t v) const
+{
+    std::vector<size_t> digits = variantDigits(axes, v);
+    std::string label;
+    for (size_t i = 0; i < axes.size(); ++i) {
+        if (i)
+            label += ",";
+        label += axes[i].label + "=" + axes[i].values[digits[i]];
+    }
+    return label;
+}
+
+RunConfig
+SweepSpec::variantConfig(const RunConfig &base, size_t v) const
+{
+    std::vector<size_t> digits = variantDigits(axes, v);
+    RunConfig cfg = base;
+    for (size_t i = 0; i < axes.size(); ++i)
+        axes[i].apply[digits[i]](cfg);
+    return cfg;
+}
+
+void
+SweepSpec::validate() const
+{
+    TD_ASSERT(!models.empty(), "sweep spec names no models");
+    size_t variants = 1;
+    for (const SweepAxis &a : axes) {
+        TD_ASSERT(!a.label.empty(), "sweep axis with an empty label");
+        TD_ASSERT(!a.values.empty(), "axis '%s' has no values",
+                  a.label.c_str());
+        TD_ASSERT(a.values.size() == a.apply.size(),
+                  "axis '%s' declares %zu values but %zu mutators",
+                  a.label.c_str(), a.values.size(), a.apply.size());
+        for (const auto &fn : a.apply)
+            TD_ASSERT(fn != nullptr, "axis '%s' has a null mutator",
+                      a.label.c_str());
+        TD_ASSERT(a.size() <= kMaxVariants / variants,
+                  "sweep expands to more than %zu config variants",
+                  kMaxVariants);
+        variants *= a.size();
+    }
+    TD_ASSERT(!synthesize || synthesis_salt != 0,
+              "a custom synthesize hook needs a non-zero "
+              "synthesis_salt: the salt is the hook's content id "
+              "inside every TaskKey");
+}
+
 size_t
 SweepResult::presentCount() const
 {
@@ -172,32 +502,35 @@ SweepResult::complete() const
 }
 
 const ModelRunResult &
-SweepResult::at(size_t model, size_t point) const
+SweepResult::at(size_t model, size_t point, size_t variant) const
 {
     TD_ASSERT(!results.empty() || taskCount() == 0,
               "sweep is a partial shard (%zu of %zu cells present); "
               "merge all shards before reading model-level results",
               presentCount(), taskCount());
-    TD_ASSERT(model < modelCount() && point < pointCount(),
-              "sweep cell (%zu, %zu) out of range (%zu x %zu)", model,
-              point, modelCount(), pointCount());
-    return results[model * pointCount() + point];
+    TD_ASSERT(model < modelCount() && point < pointCount() &&
+                  variant < variantCount(),
+              "sweep cell (m=%zu, p=%zu, v=%zu) out of range "
+              "(%zu x %zu x %zu)", model, point, variant, modelCount(),
+              pointCount(), variantCount());
+    return results[(variant * modelCount() + model) * pointCount() +
+                   point];
 }
 
 std::vector<double>
-SweepResult::speedups(size_t point) const
+SweepResult::speedups(size_t point, size_t variant) const
 {
     std::vector<double> s;
     s.reserve(modelCount());
     for (size_t m = 0; m < modelCount(); ++m)
-        s.push_back(at(m, point).speedup());
+        s.push_back(at(m, point, variant).speedup());
     return s;
 }
 
 double
-SweepResult::meanSpeedup(size_t point) const
+SweepResult::meanSpeedup(size_t point, size_t variant) const
 {
-    std::vector<double> s = speedups(point);
+    std::vector<double> s = speedups(point, variant);
     double sum = 0.0;
     for (double v : s)
         sum += v;
@@ -205,9 +538,9 @@ SweepResult::meanSpeedup(size_t point) const
 }
 
 double
-SweepResult::geomeanSpeedup(size_t point) const
+SweepResult::geomeanSpeedup(size_t point, size_t variant) const
 {
-    return geomean(speedups(point));
+    return geomean(speedups(point, variant));
 }
 
 void
@@ -217,26 +550,30 @@ SweepResult::reduce()
               "cannot reduce a partial sweep (%zu of %zu cells)",
               presentCount(), taskCount());
     results.clear();
-    results.reserve(modelCount() * pointCount());
+    results.reserve(variantCount() * modelCount() * pointCount());
     size_t first_task = 0;
-    for (size_t m = 0; m < modelCount(); ++m) {
-        for (size_t p = 0; p < pointCount(); ++p) {
-            ModelRunResult result;
-            result.model = models[m];
-            result.memory_model = memory_model;
-            for (int i = 0; i < 3; ++i)
-                result.ops[i].op = (TrainOp)i;
-            for (size_t l = 0; l < model_layer_counts[m]; ++l) {
-                const LayerResult &lr = layer_results[first_task + l];
-                for (int op = 0; op < 3; ++op) {
-                    result.ops[op].merge(lr.ops[op]);
-                    result.total.merge(lr.ops[op]);
-                    result.energy_base.merge(lr.energy_base[op]);
-                    result.energy_td.merge(lr.energy_td[op]);
+    for (size_t v = 0; v < variantCount(); ++v) {
+        for (size_t m = 0; m < modelCount(); ++m) {
+            for (size_t p = 0; p < pointCount(); ++p) {
+                ModelRunResult result;
+                result.model = models[m];
+                result.memory_model = variant_memory_models.size() > v
+                    ? variant_memory_models[v] : memory_model;
+                for (int i = 0; i < 3; ++i)
+                    result.ops[i].op = (TrainOp)i;
+                for (size_t l = 0; l < model_layer_counts[m]; ++l) {
+                    const LayerResult &lr =
+                        layer_results[first_task + l];
+                    for (int op = 0; op < 3; ++op) {
+                        result.ops[op].merge(lr.ops[op]);
+                        result.total.merge(lr.ops[op]);
+                        result.energy_base.merge(lr.energy_base[op]);
+                        result.energy_td.merge(lr.energy_td[op]);
+                    }
                 }
+                first_task += model_layer_counts[m];
+                results.push_back(std::move(result));
             }
-            first_task += model_layer_counts[m];
-            results.push_back(std::move(result));
         }
     }
 }
@@ -275,6 +612,11 @@ SweepResult::serialize() const
     w.u32(kResultFormatVersion);
     w.u64(fingerprint);
     w.u8((uint8_t)memory_model);
+    w.u32((uint32_t)variants.size());
+    for (size_t v = 0; v < variants.size(); ++v) {
+        w.str(variants[v]);
+        w.u8((uint8_t)variant_memory_models[v]);
+    }
     w.u32((uint32_t)models.size());
     for (size_t m = 0; m < models.size(); ++m) {
         w.str(models[m]);
@@ -306,6 +648,11 @@ SweepResult::deserialize(const std::vector<uint8_t> &bytes,
     SweepResult s;
     s.fingerprint = r.u64();
     s.memory_model = (MemoryModel)r.u8();
+    uint32_t nvariants = r.u32();
+    for (uint32_t v = 0; r.ok() && v < nvariants; ++v) {
+        s.variants.push_back(r.str());
+        s.variant_memory_models.push_back((MemoryModel)r.u8());
+    }
     uint32_t nmodels = r.u32();
     for (uint32_t m = 0; r.ok() && m < nmodels; ++m) {
         s.models.push_back(r.str());
@@ -324,10 +671,17 @@ SweepResult::deserialize(const std::vector<uint8_t> &bytes,
     // Cross-check the declared grid against the layout fields and the
     // bytes actually present before allocating: a corrupt count (even
     // an internally consistent one) must not drive a huge resize.
-    // Every task costs at least its one-byte present flag.
-    uint64_t expected = 0;
+    // Every task costs at least its one-byte present flag; the
+    // variant x layer x point product saturates instead of wrapping.
+    uint64_t layer_cells = 0;
     for (size_t m = 0; m < s.models.size(); ++m)
-        expected += (uint64_t)s.model_layer_counts[m] * npoints;
+        layer_cells += (uint64_t)s.model_layer_counts[m];
+    auto sat_mul = [](uint64_t a, uint64_t b) {
+        return (b != 0 && a > std::numeric_limits<uint64_t>::max() / b)
+            ? std::numeric_limits<uint64_t>::max() : a * b;
+    };
+    uint64_t expected = sat_mul(sat_mul(layer_cells, npoints),
+                                s.variants.size());
     if (expected != ntasks || ntasks > r.remaining())
         return false;
     s.layer_results.resize(ntasks);
@@ -359,141 +713,81 @@ ModelRunner::runByName(const std::string &name) const
     return run(model);
 }
 
+namespace {
+
+/** Owned storage behind a spec's GridLayout: the resolved progress
+ * points and every variant's effective config and label. */
+struct MaterializedSweep
+{
+    std::vector<double> points;
+    std::vector<RunConfig> configs;
+    std::vector<std::string> labels;
+
+    MaterializedSweep(const SweepSpec &spec, const RunConfig &base)
+    {
+        spec.validate();
+        points = spec.progress_points.empty()
+            ? std::vector<double>{base.progress}
+            : spec.progress_points;
+        const size_t nvariants = spec.variantCount();
+        configs.reserve(nvariants);
+        labels.reserve(nvariants);
+        for (size_t v = 0; v < nvariants; ++v) {
+            configs.push_back(spec.variantConfig(base, v));
+            labels.push_back(spec.variantLabel(v));
+        }
+    }
+
+    /** Layout borrowing this storage (must not outlive it). */
+    GridLayout
+    layout(const SweepSpec &spec) const
+    {
+        GridLayout grid;
+        grid.models = spec.models;
+        grid.points = points;
+        grid.variant_configs = configs;
+        grid.variant_labels = labels;
+        grid.synthesize =
+            spec.synthesize ? &spec.synthesize : nullptr;
+        grid.synthesis_salt = spec.synthesis_salt;
+        grid.estimate_out_sparsity = spec.estimate_out_sparsity;
+        return grid;
+    }
+};
+
+} // namespace
+
+SweepResult
+ModelRunner::runSweep(const SweepSpec &spec, Shard shard) const
+{
+    MaterializedSweep mat(spec, config_);
+    return runGrid(config_, mat.layout(spec), shard);
+}
+
+uint64_t
+ModelRunner::sweepFingerprint(const SweepSpec &spec) const
+{
+    MaterializedSweep mat(spec, config_);
+    return gridFingerprint(mat.layout(spec));
+}
+
 SweepResult
 ModelRunner::runMany(std::span<const ModelProfile> models,
                      std::span<const double> progress_points,
                      Shard shard) const
 {
-    // A negative thread count would silently degrade to "whole pool"
-    // inside the pool sizing path; reject it here where the request
-    // was made.
-    TD_ASSERT(config_.threads >= 0,
-              "RunConfig::threads must be >= 0 (0 = the shared pool "
-              "default), got %d", config_.threads);
-    TD_ASSERT(shard.count >= 1 && shard.index < shard.count,
-              "invalid shard %zu/%zu (want index < count, count >= 1)",
-              shard.index, shard.count);
-
-    SweepResult sweep;
-    sweep.progress_points = progress_points.empty()
+    const std::vector<double> points = progress_points.empty()
         ? std::vector<double>{config_.progress}
         : std::vector<double>(progress_points.begin(),
                               progress_points.end());
-    sweep.memory_model = config_.accel.memory_model;
-    sweep.shard = shard;
+    const std::string base_label; // single unlabelled base variant
 
-    // Fork the per-layer streams in serial layer order, which makes
-    // synthesis independent of task execution order.  One vector per
-    // model, shared by all of its progress points.
-    std::vector<std::vector<Rng>> model_rngs;
-    model_rngs.reserve(models.size());
-    for (const ModelProfile &model : models) {
-        TD_ASSERT(!model.layers.empty(), "model '%s' has no layers",
-                  model.name.c_str());
-        Rng rng(config_.seed * 0x2545f4914f6cdd1dull + 1);
-        std::vector<Rng> layer_rngs;
-        layer_rngs.reserve(model.layers.size());
-        for (size_t l = 0; l < model.layers.size(); ++l)
-            layer_rngs.push_back(rng.fork());
-        model_rngs.push_back(std::move(layer_rngs));
-    }
-
-    // Lay out the (model x progress x layer) task grid and fingerprint
-    // every task.  Keys are computed serially up front: they are cheap
-    // relative to simulation and the sweep fingerprint needs them all.
-    std::vector<SweepUnit> units;
-    std::vector<SimTask> tasks;
-    std::vector<TaskKey> keys;
-    for (size_t m = 0; m < models.size(); ++m) {
-        const ModelProfile &model = models[m];
-        sweep.models.push_back(model.name);
-        sweep.model_layer_counts.push_back(
-            (uint32_t)model.layers.size());
-        for (double progress : sweep.progress_points) {
-            SweepUnit unit;
-            unit.model = &model;
-            unit.progress = progress;
-            unit.first_task = tasks.size();
-            unit.layer_rngs = &model_rngs[m];
-            for (size_t l = 0; l < model.layers.size(); ++l) {
-                uint64_t macs = model.layers[l].macsPerSample() *
-                                (uint64_t)model.batch;
-                tasks.push_back({units.size(), l, tasks.size(), macs});
-                keys.push_back(
-                    TaskKey::forLayer(config_, model, l, progress));
-            }
-            units.push_back(unit);
-        }
-    }
-
-    // The sweep fingerprint pins the whole grid: shards merge only
-    // when models, points and every task key agree.
-    FnvHasher fh;
-    fh.u64(kResultFormatVersion);
-    for (size_t m = 0; m < sweep.models.size(); ++m) {
-        fh.str(sweep.models[m]);
-        fh.u64(sweep.model_layer_counts[m]);
-    }
-    for (double p : sweep.progress_points)
-        fh.f64(p);
-    for (const TaskKey &k : keys)
-        fh.u64(k.value);
-    sweep.fingerprint = fh.value();
-
-    sweep.layer_results.resize(tasks.size());
-    sweep.present.assign(tasks.size(), 0);
-
-    // This shard's slice of the grid, claimed costliest-first so a
-    // huge layer picked up late cannot leave the pool tailing on one
-    // thread.  Results land in pre-assigned slots and the reduce walks
-    // serial order, so neither the shard split nor the claim order
-    // ever affects the output.
-    std::vector<SimTask> owned;
-    owned.reserve(tasks.size() / shard.count + 1);
-    for (const SimTask &task : tasks)
-        if (shard.owns(task.slot))
-            owned.push_back(task);
-    std::stable_sort(owned.begin(), owned.end(),
-                     [](const SimTask &a, const SimTask &b) {
-                         return a.est_macs > b.est_macs;
-                     });
-
-    ResultStore *store = config_.cache ? &ResultStore::shared() : nullptr;
-    const std::string cache_dir =
-        store ? ResultStore::resolveDir(config_.cache_dir) : "";
-
-    // Run pass: one stateless task per owned layer, each consulting
-    // the result store before simulating and writing only its own
-    // grid slot.
-    std::atomic<size_t> cache_hits{0};
-    std::atomic<size_t> simulated{0};
-    ThreadPool &pool = ThreadPool::shared();
-    pool.parallelFor(
-        owned.size(),
-        [&](size_t i) {
-            const SimTask &task = owned[i];
-            LayerResult &out = sweep.layer_results[task.slot];
-            if (store &&
-                store->lookup(keys[task.slot], &out, cache_dir)) {
-                cache_hits.fetch_add(1, std::memory_order_relaxed);
-            } else {
-                simulateTask(config_, units[task.unit], task, &out);
-                simulated.fetch_add(1, std::memory_order_relaxed);
-                if (store)
-                    store->insert(keys[task.slot], out, cache_dir);
-            }
-            sweep.present[task.slot] = 1;
-        },
-        config_.threads);
-    sweep.cache_hits = cache_hits.load();
-    sweep.simulated = simulated.load();
-
-    // Reduce: merge in serial (layer, op) order, making the aggregates
-    // bit-identical to a single-threaded, uncached, unsharded run.  A
-    // partial shard skips this; its results materialise on merge().
-    if (sweep.complete())
-        sweep.reduce();
-    return sweep;
+    GridLayout grid;
+    grid.models = models;
+    grid.points = points;
+    grid.variant_configs = std::span(&config_, 1);
+    grid.variant_labels = std::span(&base_label, 1);
+    return runGrid(config_, grid, shard);
 }
 
 } // namespace tensordash

@@ -24,18 +24,29 @@
  * simulates (see PowerGateController) — gating decisions are per-layer
  * pure functions, so no cross-layer mutable state remains.
  *
+ * Sweeps are *declarative*: a SweepSpec names the models, the training
+ * progress points and any number of configuration axes (each a label,
+ * a list of values and a RunConfig mutator — PE rows, tile count,
+ * staging depth, power gating, ...).  The engine expands the cross
+ * product of the axes into config *variants* and lays every
+ * (variant x model x progress x layer) cell out as one flat task grid,
+ * so a whole design-space figure shares one costliest-first claim loop
+ * instead of running its axis points serially.  runMany() is the
+ * single-variant special case.
+ *
  * Tasks are *content addressed*: each is a pure function of its inputs
- * and carries a TaskKey fingerprinting all of them (config, layer
- * shape, sparsity profile, progress, seed).  On top of that purity sit
- * two features:
+ * and carries a TaskKey fingerprinting all of them (the variant's
+ * effective config, layer shape, sparsity profile, progress, seed).
+ * On top of that purity sit two features:
  *
  *  - Memoisation: the task claim loop consults a ResultStore before
  *    simulating, so repeated sweeps sharing cells (fig13 vs fig15 run
- *    the identical grid) skip re-simulation entirely, in-process and —
- *    with a cache dir — across processes.
- *  - Sharding: runMany() accepts a Shard{index, count} that
- *    deterministically partitions the (model x progress x layer) task
- *    grid.  A partial SweepResult serializes to bytes, travels between
+ *    the identical grid; a widened axis re-simulates only its new
+ *    values) skip re-simulation entirely, in-process and — with a
+ *    cache dir — across processes.
+ *  - Sharding: runSweep()/runMany() accept a Shard{index, count} that
+ *    deterministically partitions the task grid.  A partial
+ *    SweepResult serializes to bytes, travels between
  *    processes/machines, and merge() reassembles the grid; because the
  *    final reduce always walks the same serial (layer, op) order over
  *    the same per-layer results, a merged run is bit-identical to a
@@ -44,8 +55,11 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <initializer_list>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/hashing.hh"
@@ -61,8 +75,12 @@ namespace tensordash {
  * *or* the simulation semantics change without a config field
  * recording it; TaskKey mixes this version in, so a bump invalidates
  * every previously cached result instead of misreading it.
+ *
+ * v2: SweepResult grids gained the config-variant dimension (variant
+ * labels + per-variant memory models in the header) and TaskKey gained
+ * the synthesis salt and write-back-estimate inputs.
  */
-inline constexpr uint32_t kResultFormatVersion = 1;
+inline constexpr uint32_t kResultFormatVersion = 2;
 
 /** Configuration of one model-level run. */
 struct RunConfig
@@ -114,19 +132,30 @@ struct RunConfig
  * timing included, with the model's wg_side override applied), the
  * layer shape, the model's sparsity calibration and batch, the
  * training progress, the synthesis seed, the layer's position in the
- * serial Rng fork order, and the result format version.  Equal keys
- * mean bit-identical results on any platform; any input change yields
- * a new key.
+ * serial Rng fork order, the sweep's synthesis contract (salt +
+ * write-back estimate switch) and the result format version.  Equal
+ * keys mean bit-identical results on any platform; any input change
+ * yields a new key.
  */
 struct TaskKey
 {
     uint64_t value = 0;
 
-    /** Key of layer @p layer of @p model at @p progress under
-     * @p config. */
+    /**
+     * Key of layer @p layer of @p model at @p progress under
+     * @p config.
+     *
+     * @param synthesis_salt        content id of a custom synthesis
+     *                              hook (0 = the zoo's synthesize; see
+     *                              SweepSpec::synthesize)
+     * @param estimate_out_sparsity whether write-back traffic is sized
+     *                              from the inputs' measured sparsity
+     */
     static TaskKey forLayer(const RunConfig &config,
                             const ModelProfile &model, size_t layer,
-                            double progress);
+                            double progress,
+                            uint64_t synthesis_salt = 0,
+                            bool estimate_out_sparsity = true);
 
     /** 16 lowercase hex digits (cache file names). */
     std::string hex() const;
@@ -152,9 +181,9 @@ struct LayerResult
 };
 
 /**
- * Deterministic partition of the (model x progress x layer) task grid:
- * shard i of N owns every task whose serial grid slot is congruent to
- * i mod N.  The default {0, 1} owns the whole grid.
+ * Deterministic partition of the (variant x model x progress x layer)
+ * task grid: shard i of N owns every task whose serial grid slot is
+ * congruent to i mod N.  The default {0, 1} owns the whole grid.
  */
 struct Shard
 {
@@ -163,6 +192,164 @@ struct Shard
 
     bool all() const { return count <= 1; }
     bool owns(size_t slot) const { return count <= 1 || slot % count == index; }
+
+    /**
+     * Panic unless this is a well-formed partition (count >= 1 and
+     * index < count).  Every sweep entry point validates up front: an
+     * out-of-range shard owns zero cells, and silently writing an
+     * empty shard file wastes a fleet slot and fails only at merge
+     * time, far from the mistake.
+     */
+    void
+    validate() const
+    {
+        TD_ASSERT(count >= 1 && index < count,
+                  "invalid shard %zu/%zu (want index < count, "
+                  "count >= 1)", index, count);
+    }
+};
+
+/**
+ * One named configuration axis of a declarative sweep: a label, one
+ * printable label per value, and one RunConfig mutator per value.
+ * Build axes with the axis() helpers below.
+ */
+struct SweepAxis
+{
+    /** Axis name, e.g. "rows" (part of the sweep's identity). */
+    std::string label;
+
+    /** Printable value labels in sweep order, e.g. {"4", "8"}. */
+    std::vector<std::string> values;
+
+    /** One config mutator per value, applied to a copy of the base
+     * RunConfig when the variant is materialised. */
+    std::vector<std::function<void(RunConfig &)>> apply;
+
+    size_t size() const { return values.size(); }
+};
+
+/** Label for an axis value: strings pass through, bools print on/off,
+ * arithmetic values go through std::to_string. */
+inline std::string axisValueLabel(const std::string &v) { return v; }
+inline std::string axisValueLabel(const char *v) { return v; }
+inline std::string axisValueLabel(bool v) { return v ? "on" : "off"; }
+template <typename T>
+std::string
+axisValueLabel(T v)
+{
+    return std::to_string(v);
+}
+
+/**
+ * Declare one sweep axis from a value list and a mutator:
+ *
+ *   axis("rows", {1, 2, 4, 8, 16},
+ *        [](RunConfig &c, int rows) { c.accel.tile.rows = rows; })
+ */
+template <typename T, typename Fn>
+SweepAxis
+axis(std::string label, const std::vector<T> &values, Fn apply)
+{
+    SweepAxis a;
+    a.label = std::move(label);
+    for (const T &v : values) {
+        a.values.push_back(axisValueLabel(v));
+        a.apply.push_back([apply, v](RunConfig &cfg) { apply(cfg, v); });
+    }
+    return a;
+}
+
+template <typename T, typename Fn>
+SweepAxis
+axis(std::string label, std::initializer_list<T> values, Fn apply)
+{
+    return axis(std::move(label), std::vector<T>(values),
+                std::move(apply));
+}
+
+/** One explicitly labelled axis option (non-numeric design points). */
+using AxisOption =
+    std::pair<std::string, std::function<void(RunConfig &)>>;
+
+/**
+ * Declare one sweep axis from explicitly labelled options:
+ *
+ *   axis("interconnect",
+ *        {{"dense-only", [](RunConfig &c) { ... }},
+ *         {"crossbar",   [](RunConfig &c) { ... }}})
+ */
+SweepAxis axis(std::string label, std::vector<AxisOption> options);
+
+/**
+ * Declarative description of one experiment sweep: which models, at
+ * which training points, across which configuration axes.  The engine
+ * expands the cross product of the axes into config variants (first
+ * axis slowest-varying; no axes = the base config alone) and runs the
+ * whole (variant x model x progress x layer) grid as one batch —
+ * cached, shardable, and claimed costliest-first across every axis
+ * point.
+ */
+struct SweepSpec
+{
+    /** Workload profiles to simulate. */
+    std::vector<ModelProfile> models;
+
+    /** Training points; empty = the runner's configured progress. */
+    std::vector<double> progress_points;
+
+    /**
+     * Configuration axes, crossed.  Mutators run against a copy of the
+     * runner's RunConfig and may change anything that affects what is
+     * simulated (accel geometry, DRAM timing, seed, ...); execution
+     * knobs (threads, cache, cache_dir) and the progress points are
+     * taken from the runner/spec and ignored if mutated.
+     */
+    std::vector<SweepAxis> axes;
+
+    /**
+     * Optional custom workload synthesis, replacing the zoo's
+     * synthesize for every cell: receives the variant's RunConfig, the
+     * model, the layer index and the progress point.  It MUST be a
+     * pure function of those arguments plus constants identified by
+     * synthesis_salt — the salt is the hook's content id inside every
+     * TaskKey, so two specs may share cached results only when hook
+     * and salt agree.  Setting a hook requires a non-zero salt.
+     *
+     * Caching contract: besides the salt, a cell's key covers the
+     * model's *fingerprinted* identity — batch, sparsity profile, the
+     * layer's shape and index, and (custom hooks only) the model
+     * name, since a hook may seed off it.  A hook must not depend on
+     * anything else (descriptions, layer names, sibling layers), or
+     * equal keys could describe different tensors.
+     */
+    using SynthesizeFn = std::function<LayerTensors(
+        const RunConfig &, const ModelProfile &, size_t, double)>;
+    SynthesizeFn synthesize;
+    uint64_t synthesis_salt = 0;
+
+    /**
+     * Size compressed write-back traffic from the inputs' measured
+     * sparsity (the model-suite default).  false writes back dense
+     * (out_sparsity 0), as the raw-tensor benches assume.
+     */
+    bool estimate_out_sparsity = true;
+
+    /** Config variants in the expanded cross product (1 with no
+     * axes). */
+    size_t variantCount() const;
+
+    /** Label of variant @p v, e.g. "rows=8" or "rows=8,tiles=4" ("" for
+     * the no-axes base variant). */
+    std::string variantLabel(size_t v) const;
+
+    /** Materialise variant @p v: @p base with the variant's axis
+     * mutators applied (first axis slowest-varying). */
+    RunConfig variantConfig(const RunConfig &base, size_t v) const;
+
+    /** Panic on a malformed spec (no models, an empty axis, a
+     * label/mutator count mismatch, or a hook without a salt). */
+    void validate() const;
 };
 
 /** Aggregated result of simulating one model. */
@@ -230,8 +417,10 @@ struct ModelRunResult
 };
 
 /**
- * Aggregated results of a batch sweep: a (model x progress point)
- * grid of ModelRunResults from one runMany() call.
+ * Aggregated results of a batch sweep: a (config variant x model x
+ * progress point) grid of ModelRunResults from one runSweep() or
+ * runMany() call.  A single-variant sweep (runMany) has one variant
+ * labelled "" and the variant coordinate defaults to 0 everywhere.
  *
  * A SweepResult also carries the raw per-layer task grid it was
  * reduced from, so a shard's partial sweep can serialize(), travel to
@@ -242,23 +431,31 @@ struct ModelRunResult
  */
 struct SweepResult
 {
+    /** Variant labels in grid order ({""} for a plain runMany). */
+    std::vector<std::string> variants;
+
+    /** Memory model each variant was simulated under (an axis may
+     * flip it per variant). */
+    std::vector<MemoryModel> variant_memory_models;
+
     /** Model names, in the order they were passed. */
     std::vector<std::string> models;
 
-    /** Layers per model (the task-grid layout). */
+    /** Layers per model (the task-grid layout, shared by every
+     * variant). */
     std::vector<uint32_t> model_layer_counts;
 
-    /** Progress points simulated for every model. */
+    /** Progress points simulated for every (variant, model). */
     std::vector<double> progress_points;
 
-    /** Memory model the sweep was simulated under. */
+    /** Memory model of the base configuration. */
     MemoryModel memory_model = MemoryModel::Pipelined;
 
     /**
-     * Content hash of the whole task grid (format version, models,
-     * points, every TaskKey).  Two sweeps merge only when their
-     * fingerprints match, which guarantees they describe the same
-     * simulations under the same configuration.
+     * Content hash of the whole task grid (format version, variant
+     * labels, models, points, every TaskKey).  Two sweeps merge only
+     * when their fingerprints match, which guarantees they describe
+     * the same simulations under the same configurations.
      */
     uint64_t fingerprint = 0;
 
@@ -277,10 +474,12 @@ struct SweepResult
     size_t cache_hits = 0;
     size_t simulated = 0;
 
-    /** Model-major grid: results[m * progress_points.size() + p].
-     * Populated only when complete(). */
+    /** Variant-major grid:
+     * results[(v * modelCount() + m) * pointCount() + p].  Populated
+     * only when complete(). */
     std::vector<ModelRunResult> results;
 
+    size_t variantCount() const { return variants.size(); }
     size_t modelCount() const { return models.size(); }
     size_t pointCount() const { return progress_points.size(); }
     size_t taskCount() const { return layer_results.size(); }
@@ -291,24 +490,28 @@ struct SweepResult
     /** True when every task of the grid is present. */
     bool complete() const;
 
-    /** Result for one (model, progress point) cell. */
-    const ModelRunResult &at(size_t model, size_t point = 0) const;
+    /** Result for one (model, progress point, config variant) cell. */
+    const ModelRunResult &at(size_t model, size_t point = 0,
+                             size_t variant = 0) const;
 
-    /** Per-model speedups at one progress point, in model order. */
-    std::vector<double> speedups(size_t point = 0) const;
+    /** Per-model speedups at one (point, variant), in model order. */
+    std::vector<double> speedups(size_t point = 0,
+                                 size_t variant = 0) const;
 
-    /** Arithmetic-mean speedup across models at one progress point. */
-    double meanSpeedup(size_t point = 0) const;
+    /** Arithmetic-mean speedup across models at one (point,
+     * variant). */
+    double meanSpeedup(size_t point = 0, size_t variant = 0) const;
 
-    /** Geometric-mean speedup across models at one progress point. */
-    double geomeanSpeedup(size_t point = 0) const;
+    /** Geometric-mean speedup across models at one (point,
+     * variant). */
+    double geomeanSpeedup(size_t point = 0, size_t variant = 0) const;
 
     /**
      * Fold @p other's grid cells into this sweep.  Both must carry the
-     * same fingerprint (same models, points, configuration and task
-     * keys); overlapping cells keep this sweep's copy (they are
-     * bit-identical by construction).  Once the union covers the whole
-     * grid, the model-level results are re-reduced.
+     * same fingerprint (same variants, models, points, configurations
+     * and task keys); overlapping cells keep this sweep's copy (they
+     * are bit-identical by construction).  Once the union covers the
+     * whole grid, the model-level results are re-reduced.
      */
     void merge(const SweepResult &other);
 
@@ -344,21 +547,44 @@ class ModelRunner
     ModelRunResult runByName(const std::string &name) const;
 
     /**
-     * Batch API: simulate every model at every progress point in one
-     * task grid over the shared pool, so a whole figure shares one
-     * pass of scheduling instead of a private loop per cell.
+     * Declarative sweep API: expand @p spec's config axes against this
+     * runner's RunConfig and simulate the whole (variant x model x
+     * progress x layer) grid in one batch over the shared pool — every
+     * axis point interleaves in one costliest-first claim loop, every
+     * cell consults the result cache, and the grid shards as a unit.
+     *
+     * @param spec  models, progress points and config axes
+     * @param shard grid partition to simulate (default: the whole
+     *              grid).  A partial shard's sweep has no model-level
+     *              results until merge()d with its siblings.
+     * @return variant-major SweepResult; each cell is bit-identical to
+     *         a single-variant run of its effective config at any
+     *         thread count, shard split, or cache state
+     */
+    SweepResult runSweep(const SweepSpec &spec, Shard shard = {}) const;
+
+    /**
+     * Fingerprint of the task grid @p spec expands to under this
+     * runner's config, computed without simulating anything (key
+     * hashing only) — always equal to runSweep(spec).fingerprint.
+     * The bench merge driver checks shard files against it, so
+     * feeding a figure shards produced by a different figure or
+     * configuration fails with a diagnostic instead of rendering
+     * garbage.
+     */
+    uint64_t sweepFingerprint(const SweepSpec &spec) const;
+
+    /**
+     * Batch API, single-variant special case of runSweep(): simulate
+     * every model at every progress point under this runner's config
+     * alone.
      *
      * @param models          workload profiles to simulate
      * @param progress_points training points; empty = the configured
      *                        progress.  All points use the configured
      *                        seed, so cells differ only in progress.
-     * @param shard           grid partition to simulate (default: the
-     *                        whole grid).  A partial shard's sweep has
-     *                        no model-level results until merge()d
-     *                        with its siblings.
-     * @return model-major SweepResult; each cell is bit-identical to a
-     *         run() call with that model/progress at any thread count,
-     *         shard split, or cache state
+     * @param shard           grid partition to simulate
+     * @return model-major SweepResult with one variant labelled ""
      */
     SweepResult runMany(std::span<const ModelProfile> models,
                         std::span<const double> progress_points = {},

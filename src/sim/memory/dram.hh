@@ -38,6 +38,25 @@ struct DramConfig
      */
     double turnaround_cycles = 0.0;
 
+    /**
+     * Fraction of accesses that hit an already-open DRAM row buffer,
+     * in [0, 1].  Each expected miss pays the activate + precharge
+     * latency (kActivateNs) once per row's worth of data streamed
+     * (kRowBufferBytes), derating the effective bandwidth every
+     * consumer of bandwidthBytesPerSec()/bytesPerCycle() sees —
+     * including the MemoryPipeline's cycle resolution.  The default
+     * 1.0 models the perfectly row-friendly streaming the published
+     * evaluation assumes and is bit-identical to the pre-knob model.
+     */
+    double row_buffer_hit_rate = 1.0;
+
+    /** Open-row size per channel (2 KB page, x16 LPDDR4). */
+    static constexpr double kRowBufferBytes = 2048.0;
+
+    /** tRCD + tRP activate/precharge latency per row miss (LPDDR4-3200
+     * datasheet class values, ~18 ns each). */
+    static constexpr double kActivateNs = 36.0;
+
     /** Mix every result-affecting field into a task fingerprint. */
     void
     hashInto(FnvHasher &h) const
@@ -48,6 +67,7 @@ struct DramConfig
         h.f64(pj_per_byte_read);
         h.f64(pj_per_byte_write);
         h.f64(turnaround_cycles);
+        h.f64(row_buffer_hit_rate);
     }
 };
 
@@ -69,6 +89,10 @@ class DramModel
         TD_ASSERT(config.turnaround_cycles >= 0.0,
                   "negative DRAM bus turnaround %f cycles",
                   config.turnaround_cycles);
+        TD_ASSERT(config.row_buffer_hit_rate >= 0.0 &&
+                      config.row_buffer_hit_rate <= 1.0,
+                  "DRAM row-buffer hit rate %f outside [0, 1]",
+                  config.row_buffer_hit_rate);
     }
 
     const DramConfig &config() const { return config_; }
@@ -79,12 +103,26 @@ class DramModel
     uint64_t readBytes() const { return read_bytes_; }
     uint64_t writeBytes() const { return write_bytes_; }
 
-    /** Peak bandwidth in bytes per second. */
+    /**
+     * Effective bandwidth in bytes per second: the pin-rate peak,
+     * derated by the expected activate/precharge time row-buffer
+     * misses insert per row streamed (no derate at hit rate 1.0).
+     */
     double
     bandwidthBytesPerSec() const
     {
-        return config_.channels * config_.mega_transfers * 1e6 *
-               config_.channel_bytes;
+        double peak = config_.channels * config_.mega_transfers * 1e6 *
+                      config_.channel_bytes;
+        double miss = 1.0 - config_.row_buffer_hit_rate;
+        if (miss <= 0.0)
+            return peak;
+        // Seconds one channel needs to stream one open row at the pin
+        // rate; each expected miss adds the activate latency on top.
+        double row_s = DramConfig::kRowBufferBytes /
+                       (config_.mega_transfers * 1e6 *
+                        config_.channel_bytes);
+        return peak * row_s /
+               (row_s + miss * DramConfig::kActivateNs * 1e-9);
     }
 
     /** Bytes deliverable per accelerator cycle at @p freq_ghz. */

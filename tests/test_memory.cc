@@ -261,6 +261,33 @@ TEST(Dram, BandwidthScalesWithEveryChannelParameter)
                 DramModel().transferCycles(1024.0, 0.5) / 2.0, 1e-9);
 }
 
+TEST(Dram, RowBufferHitRateDeratesBandwidth)
+{
+    // The default (hit rate 1.0) is exactly the pre-knob peak: the
+    // paper-figure reproductions must not move.
+    DramConfig cfg;
+    EXPECT_EQ(DramModel(cfg).bandwidthBytesPerSec(), 25.6e9);
+
+    // Misses insert activate time: bandwidth drops monotonically as
+    // the hit rate falls, but never to zero.
+    cfg.row_buffer_hit_rate = 0.5;
+    double half = DramModel(cfg).bandwidthBytesPerSec();
+    cfg.row_buffer_hit_rate = 0.0;
+    double none = DramModel(cfg).bandwidthBytesPerSec();
+    EXPECT_LT(half, 25.6e9);
+    EXPECT_LT(none, half);
+    EXPECT_GT(none, 0.0);
+
+    // Closed-form check at all-miss: each 2 KB row pays 36 ns of
+    // activate on top of its 2048 / (3200e6 x 2) = 320 ns stream time.
+    double row_s = DramConfig::kRowBufferBytes / (3200e6 * 2.0);
+    EXPECT_NEAR(none, 25.6e9 * row_s / (row_s + 36e-9), 1e3);
+
+    // Transfers slow down by exactly the derate factor.
+    EXPECT_NEAR(DramModel(cfg).transferCycles(5120.0, 0.5),
+                100.0 * 25.6e9 / none, 1e-9);
+}
+
 TEST(Dram, RejectsInvalidConfig)
 {
     setLogThrowMode(true);
@@ -272,6 +299,11 @@ TEST(Dram, RejectsInvalidConfig)
     EXPECT_THROW(DramModel{cfg}, SimError);
     cfg = DramConfig{};
     cfg.channel_bytes = -2.0;
+    EXPECT_THROW(DramModel{cfg}, SimError);
+    cfg = DramConfig{};
+    cfg.row_buffer_hit_rate = -0.1;
+    EXPECT_THROW(DramModel{cfg}, SimError);
+    cfg.row_buffer_hit_rate = 1.1;
     EXPECT_THROW(DramModel{cfg}, SimError);
     setLogThrowMode(false);
 }

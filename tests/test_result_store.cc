@@ -288,6 +288,7 @@ TEST(TaskKeyTest, EveryResultAffectingFieldChangesTheKey)
     cfg_mut([](C &c) { c.accel.dram.pj_per_byte_read = 30.0; });
     cfg_mut([](C &c) { c.accel.dram.pj_per_byte_write = 40.0; });
     cfg_mut([](C &c) { c.accel.dram.turnaround_cycles = 4.0; });
+    cfg_mut([](C &c) { c.accel.dram.row_buffer_hit_rate = 0.9; });
     cfg_mut([](C &c) {
         c.accel.mem_pipeline.chunk_bytes = 64.0 * 1024.0;
     });
@@ -310,6 +311,16 @@ TEST(TaskKeyTest, EveryResultAffectingFieldChangesTheKey)
     cfg_mut([](C &c) { c.accel.fwd_side = FwdSide::Weights; });
     cfg_mut(
         [](C &c) { c.accel.bwd_data_side = BwdDataSide::Weights; });
+
+    // The sweep-level synthesis contract (custom hook salt and the
+    // write-back sizing switch) is part of every key too.
+    keys.push_back(TaskKey::forLayer(storeConfig(1), tinyModel(), 0,
+                                     0.5, /*synthesis_salt=*/0x77)
+                       .value);
+    keys.push_back(TaskKey::forLayer(storeConfig(1), tinyModel(), 0,
+                                     0.5, /*synthesis_salt=*/0,
+                                     /*estimate_out_sparsity=*/false)
+                       .value);
 
     std::set<uint64_t> unique(keys.begin(), keys.end());
     EXPECT_EQ(unique.size(), keys.size())
@@ -421,6 +432,90 @@ TEST(ResultStoreTest, CorruptDiskEntryIsAMissNotAnError)
     EXPECT_EQ(warm.simulated, 1u); // only the corrupt cell re-ran
     EXPECT_EQ(warm.cache_hits, warm.taskCount() - 1);
     EXPECT_EQ(contentBytes(cold), contentBytes(warm));
+    ResultStore::shared().clearMemo();
+}
+
+TEST(ResultStoreTest, ListDirReportsEveryEntryWithValidHeaders)
+{
+    const std::string dir = freshCacheDir("td_store_ls");
+    ResultStore::shared().clearMemo();
+    RunConfig cfg = storeConfig(4104);
+    cfg.cache_dir = dir;
+    const std::vector<ModelProfile> models = {tinyModel()};
+    SweepResult cold = ModelRunner(cfg).runMany(models);
+
+    std::vector<CacheEntryInfo> entries = ResultStore::listDir(dir);
+    ASSERT_EQ(entries.size(), cold.taskCount());
+    for (const CacheEntryInfo &e : entries) {
+        EXPECT_TRUE(e.valid);
+        EXPECT_EQ(e.version, kResultFormatVersion);
+        EXPECT_GT(e.bytes, 0u);
+        // The header key matches the hash-derived file name.
+        EXPECT_NE(e.path.find(FnvHasher::toHex(e.key)),
+                  std::string::npos);
+    }
+    // Oldest first, ties broken by path: the order is deterministic.
+    for (size_t i = 1; i < entries.size(); ++i)
+        EXPECT_TRUE(entries[i - 1].mtime < entries[i].mtime ||
+                    (entries[i - 1].mtime == entries[i].mtime &&
+                     entries[i - 1].path < entries[i].path));
+
+    // A garbage file with the entry extension is visible as invalid.
+    ASSERT_TRUE(writeFileBytes(dir + "/junk.tdlr", {'x'}));
+    entries = ResultStore::listDir(dir);
+    ASSERT_EQ(entries.size(), cold.taskCount() + 1);
+    size_t invalid = 0;
+    for (const CacheEntryInfo &e : entries)
+        invalid += !e.valid;
+    EXPECT_EQ(invalid, 1u);
+
+    // A missing directory lists empty instead of erroring.
+    EXPECT_TRUE(ResultStore::listDir(dir + "/nonexistent").empty());
+    ResultStore::shared().clearMemo();
+}
+
+TEST(ResultStoreTest, PruneBoundsTheDirectoryOldestFirst)
+{
+    const std::string dir = freshCacheDir("td_store_prune");
+    ResultStore::shared().clearMemo();
+    RunConfig cfg = storeConfig(4105);
+    cfg.cache_dir = dir;
+    const std::vector<ModelProfile> models = {tinyModel(),
+                                              tinyModelB()};
+    SweepResult cold = ModelRunner(cfg).runMany(models);
+
+    std::vector<CacheEntryInfo> before = ResultStore::listDir(dir);
+    uint64_t total = 0;
+    for (const CacheEntryInfo &e : before)
+        total += e.bytes;
+
+    // Prune to roughly half: stats balance, the survivors are the
+    // newest entries, and the bound holds.
+    CachePruneStats stats = ResultStore::prune(dir, total / 2);
+    EXPECT_EQ(stats.scanned, before.size());
+    EXPECT_EQ(stats.scanned_bytes, total);
+    EXPECT_GT(stats.evicted, 0u);
+    EXPECT_LT(stats.evicted, before.size());
+    EXPECT_LE(stats.remainingBytes(), total / 2);
+    std::vector<CacheEntryInfo> after = ResultStore::listDir(dir);
+    EXPECT_EQ(after.size(), before.size() - stats.evicted);
+    uint64_t remaining = 0;
+    for (const CacheEntryInfo &e : after)
+        remaining += e.bytes;
+    EXPECT_EQ(remaining, stats.remainingBytes());
+
+    // Eviction is safe: a fresh process re-simulates exactly the
+    // pruned cells and the output is bit-identical.
+    ResultStore::shared().clearMemo();
+    SweepResult warm = ModelRunner(cfg).runMany(models);
+    EXPECT_EQ(warm.simulated, stats.evicted);
+    EXPECT_EQ(warm.cache_hits, warm.taskCount() - stats.evicted);
+    EXPECT_EQ(contentBytes(cold), contentBytes(warm));
+
+    // max_bytes 0 empties the directory.
+    CachePruneStats wipe = ResultStore::prune(dir, 0);
+    EXPECT_EQ(wipe.evicted, wipe.scanned);
+    EXPECT_TRUE(ResultStore::listDir(dir).empty());
     ResultStore::shared().clearMemo();
 }
 

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * td-cache: inspect and bound the on-disk simulation result cache.
+ *
+ * The ResultStore's disk layer is append-only during simulation — a
+ * long sweep campaign only ever grows a cache directory.  This tool
+ * closes the loop:
+ *
+ *   td-cache ls DIR                     list entries (key, version,
+ *                                       size, mtime), oldest first
+ *   td-cache prune --max-bytes N DIR    evict oldest-mtime entries
+ *                                       until the directory holds at
+ *                                       most N bytes
+ *
+ * Eviction is always safe: entries are content addressed, so a pruned
+ * result simply re-simulates (and re-caches) on next use.  Entries
+ * written under an older kResultFormatVersion are never read again —
+ * ls marks them "stale" so prune targets are easy to spot.
+ */
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "core/tensordash.hh"
+
+using namespace tensordash;
+
+namespace {
+
+int
+usage(FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: td-cache ls DIR\n"
+        "       td-cache prune --max-bytes N DIR\n"
+        "  ls     list cache entries (key, version, size, mtime),\n"
+        "         oldest first\n"
+        "  prune  delete oldest-mtime entries until DIR totals at\n"
+        "         most N bytes (0 empties it); safe at any time --\n"
+        "         pruned results re-simulate on next use\n");
+    return out == stdout ? 0 : 1;
+}
+
+std::string
+fmtTime(int64_t seconds)
+{
+    std::time_t t = (std::time_t)seconds;
+    std::tm tm_utc;
+    if (!gmtime_r(&t, &tm_utc))
+        return "?";
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%d %H:%M:%S", &tm_utc);
+    return buf;
+}
+
+/** Entry status: current, written by another format version, or not a
+ * result blob at all. */
+const char *
+entryState(const CacheEntryInfo &e)
+{
+    if (!e.valid)
+        return "corrupt";
+    return e.version == kResultFormatVersion ? "ok" : "stale";
+}
+
+int
+runLs(const std::string &dir)
+{
+    std::vector<CacheEntryInfo> entries = ResultStore::listDir(dir);
+    Table t;
+    t.header({"key", "ver", "state", "bytes", "mtime (UTC)"});
+    uint64_t total = 0;
+    for (const CacheEntryInfo &e : entries) {
+        total += e.bytes;
+        t.row({e.valid ? FnvHasher::toHex(e.key) : "?",
+               e.valid ? std::to_string(e.version) : "?",
+               entryState(e), std::to_string(e.bytes),
+               fmtTime(e.mtime)});
+    }
+    t.print();
+    std::printf("%zu entr%s, %" PRIu64 " bytes in %s\n",
+                entries.size(), entries.size() == 1 ? "y" : "ies",
+                total, dir.c_str());
+    return 0;
+}
+
+int
+runPrune(const std::string &dir, uint64_t max_bytes)
+{
+    CachePruneStats stats = ResultStore::prune(dir, max_bytes);
+    std::printf("scanned %zu entries (%" PRIu64 " bytes), evicted %zu "
+                "(%" PRIu64 " bytes), %" PRIu64 " bytes remain in %s\n",
+                stats.scanned, stats.scanned_bytes, stats.evicted,
+                stats.evicted_bytes, stats.remainingBytes(),
+                dir.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0))
+        return usage(stdout);
+    if (argc < 2)
+        return usage(stderr);
+
+    std::string cmd = argv[1];
+    if (cmd == "ls") {
+        if (argc != 3)
+            return usage(stderr);
+        return runLs(argv[2]);
+    }
+    if (cmd == "prune") {
+        if (argc != 5 || std::strcmp(argv[2], "--max-bytes") != 0)
+            return usage(stderr);
+        // strtoull would silently wrap a negative value ("-1" ->
+        // ULLONG_MAX, i.e. prune nothing); reject anything but a
+        // plain non-negative decimal.
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long v = std::strtoull(argv[3], &end, 10);
+        if (argv[3][0] == '-' || end == argv[3] || *end != '\0' ||
+            errno == ERANGE) {
+            std::fprintf(stderr,
+                         "td-cache: bad value '%s' for --max-bytes "
+                         "(want a non-negative byte count)\n",
+                         argv[3]);
+            return 1;
+        }
+        return runPrune(argv[4], (uint64_t)v);
+    }
+    std::fprintf(stderr, "td-cache: unknown command '%s'\n",
+                 cmd.c_str());
+    return usage(stderr);
+}
