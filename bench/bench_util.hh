@@ -278,8 +278,9 @@ runFigure(const Options &opts, BuildFn &&build)
 inline void
 reportCache(const SweepResult &sweep)
 {
-    std::printf("[cache] tasks=%zu hits=%zu simulated=%zu\n",
-                sweep.taskCount(), sweep.cache_hits, sweep.simulated);
+    std::printf("[cache] tasks=%zu cells=%zu hits=%zu simulated=%zu\n",
+                sweep.taskCount(), sweep.cellCount(), sweep.cache_hits,
+                sweep.simulated);
 }
 
 /**

@@ -23,14 +23,14 @@ namespace {
 constexpr double kStallThreshold = 0.5;
 
 /** Mean per-op stall fraction across the model suite at one config
- * variant. */
+ * variant (an op index past the phase's op set reads the total). */
 double
-meanOpStall(const SweepResult &sweep, int op, size_t variant)
+meanOpStall(const SweepResult &sweep, size_t op, size_t variant)
 {
     double sum = 0.0;
     for (size_t m = 0; m < sweep.modelCount(); ++m) {
         const ModelRunResult &r = sweep.at(m, 0, variant);
-        const OpResult &res = op < 3 ? r.ops[(size_t)op] : r.total;
+        const OpResult &res = op < r.ops.size() ? r.ops[op] : r.total;
         sum += res.memoryStallFraction();
     }
     return sweep.modelCount() ? sum / (double)sweep.modelCount() : 0.0;
@@ -62,19 +62,29 @@ main(int argc, char **argv)
         DramModel(cfg.accel.dram).bytesPerCycle(cfg.accel.freq_ghz);
     ModelRunner runner(cfg);
 
+    // One stall column per training-phase op plus the total — the op
+    // set drives the table, the strings match the historical header.
+    const std::span<const TrainOp> ops =
+        phaseOps(WorkloadPhase::Training);
+    const size_t ncols = ops.size() + 1; // per-op stalls + total
     bench::sweepFigure(opts, runner, spec,
                        [&](const SweepResult &sweep) {
         Table t;
-        t.header({"tiles", "MACs/cyc", "B/cyc", "AxW stall",
-                  "AxG stall", "WxG stall", "Total stall", "speedup"});
+        std::vector<std::string> header = {"tiles", "MACs/cyc",
+                                           "B/cyc"};
+        for (TrainOp op : ops)
+            header.push_back(std::string(trainOpName(op)) + " stall");
+        header.push_back("Total stall");
+        header.push_back("speedup");
+        t.header(header);
         // First DRAM-limited array size per op (-1 = never in sweep).
-        int crossover[4] = {-1, -1, -1, -1};
+        std::vector<int> crossover(ncols, -1);
         for (size_t v = 0; v < sweep.variantCount(); ++v) {
             std::vector<std::string> row = {
                 fmtDouble(tile_counts[v], 0),
                 fmtDouble(tile_counts[v] * 256.0, 0),
                 fmtDouble(bytes_per_cycle, 1)};
-            for (int op = 0; op < 4; ++op) {
+            for (size_t op = 0; op < ncols; ++op) {
                 double stall = meanOpStall(sweep, op, v);
                 row.push_back(fmtPercent(stall));
                 if (crossover[op] < 0 && stall >= kStallThreshold)
@@ -84,7 +94,7 @@ main(int argc, char **argv)
             t.row(row);
         }
         std::vector<std::string> cross = {"crossover", "", ""};
-        for (int op = 0; op < 4; ++op)
+        for (size_t op = 0; op < ncols; ++op)
             cross.push_back(crossover[op] < 0
                                 ? std::string("none")
                                 : fmtDouble(crossover[op], 0) +

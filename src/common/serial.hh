@@ -131,6 +131,10 @@ class ByteReader
     /** False once any read ran past the end of the buffer. */
     bool ok() const { return ok_; }
 
+    /** Latch !ok() from caller-side validation (e.g. a count field
+     * exceeding a structural bound), joining the truncation path. */
+    void fail() { ok_ = false; }
+
     /** True when the whole buffer was consumed without truncation. */
     bool atEnd() const { return ok_ && pos_ == len_; }
 

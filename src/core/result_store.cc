@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
+#include <limits>
 #include <system_error>
 
 #include <sys/stat.h>
@@ -33,7 +35,7 @@ ResultStore::shared()
 }
 
 bool
-ResultStore::lookup(const TaskKey &key, LayerResult *out,
+ResultStore::lookup(const TaskKey &key, OpCellResult *out,
                     const std::string &dir)
 {
     {
@@ -54,7 +56,7 @@ ResultStore::lookup(const TaskKey &key, LayerResult *out,
     if (r.u32() != kEntryMagic || r.u32() != kResultFormatVersion ||
         r.u64() != key.value)
         return false;
-    LayerResult result;
+    OpCellResult result;
     result.deserialize(r);
     if (!r.atEnd())
         return false;
@@ -67,7 +69,7 @@ ResultStore::lookup(const TaskKey &key, LayerResult *out,
 }
 
 void
-ResultStore::insert(const TaskKey &key, const LayerResult &result,
+ResultStore::insert(const TaskKey &key, const OpCellResult &result,
                     const std::string &dir)
 {
     {
@@ -145,27 +147,52 @@ ResultStore::listDir(const std::string &dir)
 }
 
 CachePruneStats
-ResultStore::prune(const std::string &dir, uint64_t max_bytes)
+ResultStore::prune(const std::string &dir,
+                   const CachePruneOptions &opts)
 {
     CachePruneStats stats;
     std::vector<CacheEntryInfo> entries = listDir(dir);
     stats.scanned = entries.size();
     for (const CacheEntryInfo &e : entries)
         stats.scanned_bytes += e.bytes;
+
+    int64_t cutoff = std::numeric_limits<int64_t>::min();
+    if (opts.max_age_seconds >= 0) {
+        int64_t now = opts.now != 0 ? opts.now : (int64_t)::time(nullptr);
+        cutoff = now - opts.max_age_seconds;
+    }
+
+    // listDir() orders oldest-first, so one pass implements both
+    // bounds: evict while the entry is over-age OR the survivors still
+    // exceed the size bound — every later entry is at least as new, so
+    // once neither condition holds no further entry can be a victim.
     uint64_t remaining = stats.scanned_bytes;
     for (const CacheEntryInfo &e : entries) {
-        if (remaining <= max_bytes)
+        bool over_age = e.mtime < cutoff;
+        bool over_size = remaining > opts.max_bytes;
+        if (!over_age && !over_size)
             break;
-        std::error_code ec;
-        if (!std::filesystem::remove(e.path, ec) || ec) {
-            TD_WARN("cannot evict cache entry '%s'", e.path.c_str());
-            continue;
+        if (!opts.dry_run) {
+            std::error_code ec;
+            if (!std::filesystem::remove(e.path, ec) || ec) {
+                TD_WARN("cannot evict cache entry '%s'",
+                        e.path.c_str());
+                continue;
+            }
         }
         remaining -= e.bytes;
         stats.evicted += 1;
         stats.evicted_bytes += e.bytes;
     }
     return stats;
+}
+
+CachePruneStats
+ResultStore::prune(const std::string &dir, uint64_t max_bytes)
+{
+    CachePruneOptions opts;
+    opts.max_bytes = max_bytes;
+    return prune(dir, opts);
 }
 
 std::string

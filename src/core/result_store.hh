@@ -3,15 +3,18 @@
 
 /**
  * @file
- * Content-addressed cache of per-layer simulation results.
+ * Content-addressed cache of per-(layer, op) simulation results.
  *
- * Simulation tasks are pure functions of their TaskKey, so a result
- * computed once is valid forever: the store memoises LayerResults in
+ * Simulation cells are pure functions of their TaskKey, so a result
+ * computed once is valid forever: the store memoises OpCellResults in
  * memory (shared by every ModelRunner in the process) and, when a
  * cache directory is supplied, mirrors them to disk as versioned
  * binary blobs named by the key's hex fingerprint.  A warm cache turns
  * a repeated figure sweep — fig13 and fig15 simulate the identical
- * grid — into pure lookups with zero layer simulations.
+ * grid — into pure lookups with zero op simulations, and because keys
+ * identify the op rather than the workload phase, an inference sweep
+ * is born warm wherever a training sweep already ran its Forward
+ * cells.
  *
  * Invalidation is by construction, not by policy: any change to a
  * result-affecting input (accelerator config, DRAM timing, layer
@@ -63,7 +66,29 @@ struct CachePruneStats
     uint64_t remainingBytes() const { return scanned_bytes - evicted_bytes; }
 };
 
-/** Process-wide memo + optional on-disk cache of LayerResults. */
+/**
+ * Eviction policy for ResultStore::prune().  Both bounds may combine:
+ * age-based eviction runs first, then the size bound trims
+ * oldest-first until the remaining entries fit.
+ */
+struct CachePruneOptions
+{
+    /** Keep total entry bytes at or under this (default: no bound). */
+    uint64_t max_bytes = UINT64_MAX;
+
+    /** Evict entries older than this many seconds (-1 = no age
+     * bound). */
+    int64_t max_age_seconds = -1;
+
+    /** Report what would be evicted without deleting anything. */
+    bool dry_run = false;
+
+    /** "Now" for the age cutoff, seconds since the epoch (0 = the
+     * wall clock; tests pin it for determinism). */
+    int64_t now = 0;
+};
+
+/** Process-wide memo + optional on-disk cache of OpCellResults. */
 class ResultStore
 {
   public:
@@ -83,11 +108,11 @@ class ResultStore
      *
      * @return true and fill @p out on a hit
      */
-    bool lookup(const TaskKey &key, LayerResult *out,
+    bool lookup(const TaskKey &key, OpCellResult *out,
                 const std::string &dir = "");
 
     /** Memoise @p result and, when @p dir is non-empty, persist it. */
-    void insert(const TaskKey &key, const LayerResult &result,
+    void insert(const TaskKey &key, const OpCellResult &result,
                 const std::string &dir = "");
 
     /** Entries currently memoised in memory. */
@@ -115,18 +140,24 @@ class ResultStore
     static std::vector<CacheEntryInfo> listDir(const std::string &dir);
 
     /**
-     * Evict oldest-mtime entries from @p dir until the remaining
-     * entries total at most @p max_bytes (0 empties the directory).
-     * The store is append-only during simulation, so this is the only
-     * way a cache directory shrinks; eviction is always safe — a
-     * pruned entry simply re-simulates on next use.
+     * Evict entries from @p dir per @p opts: first everything older
+     * than the age bound, then oldest-mtime entries until the
+     * remainder totals at most max_bytes (0 empties the directory).
+     * With dry_run the stats report the victims but nothing is
+     * deleted.  The store is append-only during simulation, so prune
+     * is the only way a cache directory shrinks; eviction is always
+     * safe — a pruned entry simply re-simulates on next use.
      */
+    static CachePruneStats prune(const std::string &dir,
+                                 const CachePruneOptions &opts);
+
+    /** Size-bound-only convenience overload. */
     static CachePruneStats prune(const std::string &dir,
                                  uint64_t max_bytes);
 
   private:
     mutable std::mutex mu_;
-    std::unordered_map<uint64_t, LayerResult> memo_;
+    std::unordered_map<uint64_t, OpCellResult> memo_;
 };
 
 } // namespace tensordash

@@ -61,10 +61,11 @@ struct SweepUnit
 
 /**
  * Coordinates of one stateless simulation task.  A task covers one
- * layer and runs all three training convolutions on it: finer
- * per-(layer, op) tasks would synthesize each layer's tensors three
- * times over, and a (variant x model x layer) grid already yields far
- * more tasks than threads.
+ * layer and runs its phase's whole op set: results are cached per
+ * (layer, op) cell, but finer per-op *tasks* would synthesize each
+ * layer's tensors once per op, and a (variant x model x layer) grid
+ * already yields far more tasks than threads.  Synthesis is lazy — a
+ * task whose cells all hit the cache never materialises its tensors.
  */
 struct SimTask
 {
@@ -75,6 +76,11 @@ struct SimTask
      * fixed before tasks are filtered to a shard and reordered for
      * load balancing. */
     size_t slot;
+
+    /** Offset of this layer's first op cell in the flattened per-op
+     * key array (variants can differ in op count, so cell offsets are
+     * not a multiple of the slot). */
+    size_t first_cell;
 
     /** Estimated dense MACs (claim-order sort key). */
     uint64_t est_macs;
@@ -90,21 +96,26 @@ synthesizeLayer(const SweepUnit &unit, size_t layer)
 }
 
 /**
- * Run one layer's three ops on a task-private Accelerator: synthesize
- * -> (observe + freeze the gating table) -> lower -> simulate.
- * Depends only on the variant's config and the unit — everything the
- * TaskKey fingerprints — so tasks run in any order on any thread and
- * results memoise exactly.
+ * Simulate the missing op cells of one layer on a task-private
+ * Accelerator: synthesize -> (observe + freeze the gating table) ->
+ * lower -> simulate each op whose bit is set in @p missing.  Depends
+ * only on the variant's config and the unit — everything the TaskKey
+ * fingerprints — so tasks run in any order on any thread and results
+ * memoise exactly, per cell.
  *
  * The observe phase lives inside the task: gating decisions depend
  * only on the layer's own measured zero fractions (the serial driver
  * overwrote its per-operand counters each layer), so the frozen table
  * of section 3.5 is a pure function of tensors the task synthesizes
- * anyway, and no cross-layer mutable state remains.
+ * anyway, and no cross-layer mutable state remains.  Crucially none of
+ * this depends on *which* cells missed: a cell simulated to fill an
+ * inference sweep's gap is bit-identical to the one a full training
+ * run produces.
  */
 void
-simulateTask(const GridLayout &grid, const SweepUnit &unit,
-             const SimTask &task, LayerResult *out)
+simulateTaskOps(const GridLayout &grid, const SweepUnit &unit,
+                const SimTask &task, std::span<const TrainOp> ops,
+                uint32_t missing, LayerResult *out)
 {
     const RunConfig &config = *unit.config;
     AcceleratorConfig accel_cfg = config.accel;
@@ -124,20 +135,28 @@ simulateTask(const GridLayout &grid, const SweepUnit &unit,
         obs.sparsity["weights"] = t.weights.sparsity();
         accel.powerGate().freezeFrom(obs);
     }
-    // Output write-back sparsity estimates: O looks like this model's
-    // activations, GA like its gradients, GW is dense.  Raw-tensor
-    // sweeps (estimate_out_sparsity false) write back dense instead.
+    // Output write-back sparsity estimates, indexed by TrainOp: O
+    // looks like this model's activations, GA like its gradients, GW
+    // is dense.  Raw-tensor sweeps (estimate_out_sparsity false) write
+    // back dense instead.
     double out_sparsity[3] = {0.0, 0.0, 0.0};
     if (grid.estimate_out_sparsity) {
-        out_sparsity[0] = t.acts.sparsity();
-        out_sparsity[1] = t.grads.sparsity();
+        out_sparsity[(int)TrainOp::Forward] = t.acts.sparsity();
+        out_sparsity[(int)TrainOp::BackwardData] = t.grads.sparsity();
     }
-    for (int op = 0; op < 3; ++op) {
-        out->ops[op] =
-            accel.runConvOp((TrainOp)op, t.acts, t.weights, t.grads,
-                            t.spec, out_sparsity[op]);
-        out->energy_base[op] = accel.energy(out->ops[op], false);
-        out->energy_td[op] = accel.energy(out->ops[op], true);
+    const LayerSpec &layer = unit.model->layers[task.layer];
+    for (size_t j = 0; j < ops.size(); ++j) {
+        if (!(missing & (1u << j)))
+            continue;
+        TrainOp op = ops[j];
+        OpCellResult &cell = out->cells[j];
+        cell.op = layer.fc
+            ? accel.runFcOp(op, t.acts, t.weights, t.grads,
+                            out_sparsity[(int)op])
+            : accel.runConvOp(op, t.acts, t.weights, t.grads, t.spec,
+                              out_sparsity[(int)op]);
+        cell.energy_base = accel.energy(cell.op, false);
+        cell.energy_td = accel.energy(cell.op, true);
     }
 }
 
@@ -147,10 +166,13 @@ simulateTask(const GridLayout &grid, const SweepUnit &unit,
  * in serial (variant, model, progress, layer) order.  Shards merge
  * only when their fingerprints match, and the bench merge driver
  * checks loaded shard files against the expected grid's fingerprint.
+ * A variant's phase shapes the fingerprint through its cell keys (an
+ * inference variant contributes Forward keys only), so a training and
+ * an inference sweep never merge even though they share cells.
  *
- * @param keys the grid's task keys in serial order when the caller
- *        already computed them (runGrid); null recomputes them (the
- *        simulation-free sweepFingerprint path).
+ * @param keys the grid's per-op cell keys in serial order when the
+ *        caller already computed them (runGrid); null recomputes them
+ *        (the simulation-free sweepFingerprint path).
  */
 uint64_t
 gridFingerprint(const GridLayout &grid,
@@ -175,11 +197,12 @@ gridFingerprint(const GridLayout &grid,
         for (const ModelProfile &model : grid.models)
             for (double progress : grid.points)
                 for (size_t l = 0; l < model.layers.size(); ++l)
-                    fh.u64(TaskKey::forLayer(
-                               config, model, l, progress,
-                               grid.synthesis_salt,
-                               grid.estimate_out_sparsity)
-                               .value);
+                    for (TrainOp op : phaseOps(config.phase))
+                        fh.u64(TaskKey::forOp(
+                                   config, model, l, op, progress,
+                                   grid.synthesis_salt,
+                                   grid.estimate_out_sparsity)
+                                   .value);
     return fh.value();
 }
 
@@ -210,10 +233,14 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
         sweep.variants.push_back(grid.variant_labels[v]);
         sweep.variant_memory_models.push_back(
             grid.variant_configs[v].accel.memory_model);
+        sweep.variant_phases.push_back(grid.variant_configs[v].phase);
     }
     for (const ModelProfile &model : grid.models) {
-        TD_ASSERT(!model.layers.empty(), "model '%s' has no layers",
-                  model.name.c_str());
+        // Full structural validation (positive shapes, well-formed
+        // output geometry), not just non-emptiness: a bad layer spec
+        // fails here with its model and layer named instead of deep in
+        // synthesis or lowering.
+        model.validate();
         sweep.models.push_back(model.name);
         sweep.model_layer_counts.push_back(
             (uint32_t)model.layers.size());
@@ -239,14 +266,16 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     }
 
     // Lay out the (variant x model x progress x layer) task grid and
-    // fingerprint every task under its variant's effective config.
-    // Keys are computed serially up front: they are cheap relative to
-    // simulation and the sweep fingerprint needs them all.
+    // fingerprint every (layer, op) cell under its variant's effective
+    // config and phase.  Keys are computed serially up front: they are
+    // cheap relative to simulation and the sweep fingerprint needs
+    // them all.
     std::vector<SweepUnit> units;
     std::vector<SimTask> tasks;
     std::vector<TaskKey> keys;
     for (size_t v = 0; v < grid.variant_configs.size(); ++v) {
         const RunConfig &config = grid.variant_configs[v];
+        std::span<const TrainOp> ops = phaseOps(config.phase);
         for (size_t m = 0; m < grid.models.size(); ++m) {
             const ModelProfile &model = grid.models[m];
             for (double progress : sweep.progress_points) {
@@ -260,12 +289,13 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
                 for (size_t l = 0; l < model.layers.size(); ++l) {
                     uint64_t macs = model.layers[l].macsPerSample() *
                                     (uint64_t)model.batch;
-                    tasks.push_back(
-                        {units.size(), l, tasks.size(), macs});
-                    keys.push_back(TaskKey::forLayer(
-                        config, model, l, progress,
-                        grid.synthesis_salt,
-                        grid.estimate_out_sparsity));
+                    tasks.push_back({units.size(), l, tasks.size(),
+                                     keys.size(), macs});
+                    for (TrainOp op : ops)
+                        keys.push_back(TaskKey::forOp(
+                            config, model, l, op, progress,
+                            grid.synthesis_salt,
+                            grid.estimate_out_sparsity));
                 }
                 units.push_back(unit);
             }
@@ -299,9 +329,11 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     const std::string cache_dir =
         store ? ResultStore::resolveDir(exec.cache_dir) : "";
 
-    // Run pass: one stateless task per owned layer, each consulting
-    // the result store before simulating and writing only its own
-    // grid slot.
+    // Run pass: one stateless task per owned layer.  Each op cell
+    // consults the result store independently — a layer whose Forward
+    // cell is warm (say, from a training sweep feeding this inference
+    // one) synthesizes and simulates only the cells that missed, and a
+    // fully warm layer never materialises its tensors at all.
     std::atomic<size_t> cache_hits{0};
     std::atomic<size_t> simulated{0};
     ThreadPool &pool = ThreadPool::shared();
@@ -309,16 +341,33 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
         owned.size(),
         [&](size_t i) {
             const SimTask &task = owned[i];
+            const SweepUnit &unit = units[task.unit];
+            std::span<const TrainOp> ops =
+                phaseOps(unit.config->phase);
             LayerResult &out = sweep.layer_results[task.slot];
-            if (store &&
-                store->lookup(keys[task.slot], &out, cache_dir)) {
-                cache_hits.fetch_add(1, std::memory_order_relaxed);
-            } else {
-                simulateTask(grid, units[task.unit], task, &out);
-                simulated.fetch_add(1, std::memory_order_relaxed);
-                if (store)
-                    store->insert(keys[task.slot], out, cache_dir);
+            out.cells.resize(ops.size());
+            uint32_t missing = 0;
+            size_t hits = 0;
+            for (size_t j = 0; j < ops.size(); ++j) {
+                if (store &&
+                    store->lookup(keys[task.first_cell + j],
+                                  &out.cells[j], cache_dir))
+                    ++hits;
+                else
+                    missing |= 1u << j;
             }
+            if (missing) {
+                simulateTaskOps(grid, unit, task, ops, missing, &out);
+                for (size_t j = 0; j < ops.size(); ++j) {
+                    if (!(missing & (1u << j)))
+                        continue;
+                    simulated.fetch_add(1, std::memory_order_relaxed);
+                    if (store)
+                        store->insert(keys[task.first_cell + j],
+                                      out.cells[j], cache_dir);
+                }
+            }
+            cache_hits.fetch_add(hits, std::memory_order_relaxed);
             sweep.present[task.slot] = 1;
         },
         exec.threads);
@@ -336,16 +385,16 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
 } // namespace
 
 TaskKey
-TaskKey::forLayer(const RunConfig &config, const ModelProfile &model,
-                  size_t layer, double progress,
-                  uint64_t synthesis_salt, bool estimate_out_sparsity)
+TaskKey::forOp(const RunConfig &config, const ModelProfile &model,
+               size_t layer, TrainOp op, double progress,
+               uint64_t synthesis_salt, bool estimate_out_sparsity)
 {
     TD_ASSERT(layer < model.layers.size(),
               "layer %zu out of range for model '%s' (%zu layers)",
               layer, model.name.c_str(), model.layers.size());
     FnvHasher h;
     h.u64(kResultFormatVersion);
-    // The task simulates under the model's wg_side override, so the
+    // The cell simulates under the model's wg_side override, so the
     // key must fingerprint the *effective* accelerator configuration.
     AcceleratorConfig accel = config.accel;
     accel.wg_side = model.wg_side;
@@ -355,6 +404,10 @@ TaskKey::forLayer(const RunConfig &config, const ModelProfile &model,
     // The layer's Rng stream is fork number `layer` of the serially
     // seeded parent, a function of (seed, layer index) alone.
     h.u64(layer);
+    // Which op the cell holds.  The workload phase is deliberately NOT
+    // hashed: it only selects which cells a sweep runs, so a Forward
+    // cell is one and the same under training and inference.
+    h.u64((uint64_t)op);
     h.i64(model.batch);
     model.sparsity.hashInto(h);
     model.layers[layer].hashInto(h);
@@ -378,23 +431,42 @@ TaskKey::hex() const
 }
 
 void
+OpCellResult::serialize(ByteWriter &w) const
+{
+    op.serialize(w);
+    energy_base.serialize(w);
+    energy_td.serialize(w);
+}
+
+void
+OpCellResult::deserialize(ByteReader &r)
+{
+    op.deserialize(r);
+    energy_base.deserialize(r);
+    energy_td.deserialize(r);
+}
+
+void
 LayerResult::serialize(ByteWriter &w) const
 {
-    for (int op = 0; op < 3; ++op) {
-        ops[op].serialize(w);
-        energy_base[op].serialize(w);
-        energy_td[op].serialize(w);
-    }
+    w.u32((uint32_t)cells.size());
+    for (const OpCellResult &cell : cells)
+        cell.serialize(w);
 }
 
 void
 LayerResult::deserialize(ByteReader &r)
 {
-    for (int op = 0; op < 3; ++op) {
-        ops[op].deserialize(r);
-        energy_base[op].deserialize(r);
-        energy_td[op].deserialize(r);
+    uint32_t n = r.u32();
+    // No phase has more ops than kMaxPhaseOps; a larger count is
+    // corruption and must not drive the resize below.
+    if (n > kMaxPhaseOps) {
+        r.fail();
+        return;
     }
+    cells.resize(n);
+    for (OpCellResult &cell : cells)
+        cell.deserialize(r);
 }
 
 SweepAxis
@@ -407,6 +479,19 @@ axis(std::string label, std::vector<AxisOption> options)
         a.apply.push_back(std::move(o.second));
     }
     return a;
+}
+
+SweepAxis
+phaseAxis()
+{
+    return axis(
+        "phase",
+        std::vector<AxisOption>{
+            {"training",
+             [](RunConfig &c) { c.phase = WorkloadPhase::Training; }},
+            {"inference",
+             [](RunConfig &c) { c.phase = WorkloadPhase::Inference; }},
+        });
 }
 
 size_t
@@ -501,6 +586,19 @@ SweepResult::complete() const
     return presentCount() == taskCount();
 }
 
+size_t
+SweepResult::cellCount() const
+{
+    size_t layer_slots = 0;
+    for (uint32_t c : model_layer_counts)
+        layer_slots += c;
+    layer_slots *= pointCount();
+    size_t n = 0;
+    for (size_t v = 0; v < variantCount(); ++v)
+        n += layer_slots * phaseOps(variantPhase(v)).size();
+    return n;
+}
+
 const ModelRunResult &
 SweepResult::at(size_t model, size_t point, size_t variant) const
 {
@@ -553,22 +651,29 @@ SweepResult::reduce()
     results.reserve(variantCount() * modelCount() * pointCount());
     size_t first_task = 0;
     for (size_t v = 0; v < variantCount(); ++v) {
+        std::span<const TrainOp> ops = phaseOps(variantPhase(v));
         for (size_t m = 0; m < modelCount(); ++m) {
             for (size_t p = 0; p < pointCount(); ++p) {
                 ModelRunResult result;
                 result.model = models[m];
                 result.memory_model = variant_memory_models.size() > v
                     ? variant_memory_models[v] : memory_model;
-                for (int i = 0; i < 3; ++i)
-                    result.ops[i].op = (TrainOp)i;
+                result.ops.assign(ops.size(), OpResult{});
+                for (size_t i = 0; i < ops.size(); ++i)
+                    result.ops[i].op = ops[i];
                 for (size_t l = 0; l < model_layer_counts[m]; ++l) {
                     const LayerResult &lr =
                         layer_results[first_task + l];
-                    for (int op = 0; op < 3; ++op) {
-                        result.ops[op].merge(lr.ops[op]);
-                        result.total.merge(lr.ops[op]);
-                        result.energy_base.merge(lr.energy_base[op]);
-                        result.energy_td.merge(lr.energy_td[op]);
+                    TD_ASSERT(lr.cells.size() == ops.size(),
+                              "layer slot holds %zu op cells, variant "
+                              "'%s' runs %zu ops", lr.cells.size(),
+                              variants[v].c_str(), ops.size());
+                    for (size_t op = 0; op < ops.size(); ++op) {
+                        const OpCellResult &cell = lr.cells[op];
+                        result.ops[op].merge(cell.op);
+                        result.total.merge(cell.op);
+                        result.energy_base.merge(cell.energy_base);
+                        result.energy_td.merge(cell.energy_td);
                     }
                 }
                 first_task += model_layer_counts[m];
@@ -616,6 +721,7 @@ SweepResult::serialize() const
     for (size_t v = 0; v < variants.size(); ++v) {
         w.str(variants[v]);
         w.u8((uint8_t)variant_memory_models[v]);
+        w.u8((uint8_t)variantPhase(v));
     }
     w.u32((uint32_t)models.size());
     for (size_t m = 0; m < models.size(); ++m) {
@@ -652,6 +758,10 @@ SweepResult::deserialize(const std::vector<uint8_t> &bytes,
     for (uint32_t v = 0; r.ok() && v < nvariants; ++v) {
         s.variants.push_back(r.str());
         s.variant_memory_models.push_back((MemoryModel)r.u8());
+        uint8_t phase = r.u8();
+        if (phase > (uint8_t)WorkloadPhase::Inference)
+            return false;
+        s.variant_phases.push_back((WorkloadPhase)phase);
     }
     uint32_t nmodels = r.u32();
     for (uint32_t m = 0; r.ok() && m < nmodels; ++m) {
@@ -686,10 +796,18 @@ SweepResult::deserialize(const std::vector<uint8_t> &bytes,
         return false;
     s.layer_results.resize(ntasks);
     s.present.assign(ntasks, 0);
+    // Each present slot must hold exactly its variant's op count
+    // (slots are laid out variant-major, so the variant is the slot's
+    // position divided by the per-variant slot count).
+    const uint64_t slots_per_variant = sat_mul(layer_cells, npoints);
     for (uint32_t i = 0; r.ok() && i < ntasks; ++i) {
         if (r.b()) {
             s.present[i] = 1;
             s.layer_results[i].deserialize(r);
+            size_t v = slots_per_variant ? i / slots_per_variant : 0;
+            if (s.layer_results[i].cells.size() !=
+                phaseOps(s.variantPhase(v)).size())
+                return false;
         }
     }
     if (!r.atEnd())

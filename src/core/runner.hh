@@ -8,12 +8,14 @@
  *
  * A ModelRunner takes a workload profile (layer shapes + sparsity
  * calibration), synthesises per-layer tensors at a chosen point in
- * training, runs all three training convolutions of every layer through
- * the accelerator, and aggregates cycles, potentials and energy.
+ * training, runs the configured phase's op set for every layer through
+ * the accelerator (Training = the three convolutions of Table 1,
+ * Inference = forward only), and aggregates cycles, potentials and
+ * energy.
  *
  * Execution is task-based: every layer becomes one stateless
- * simulation task (synthesize -> lower -> simulate its three training
- * convolutions -> reduce) on the shared ThreadPool, each with its own
+ * simulation task (synthesize -> lower -> simulate the phase's op
+ * set -> reduce) on the shared ThreadPool, each with its own
  * Accelerator instance.  Tasks are claimed costliest-first (estimated
  * dense MACs) so skewed layer costs cannot leave the pool tailing on
  * one straggler.
@@ -34,10 +36,14 @@
  * instead of running its axis points serially.  runMany() is the
  * single-variant special case.
  *
- * Tasks are *content addressed*: each is a pure function of its inputs
- * and carries a TaskKey fingerprinting all of them (the variant's
- * effective config, layer shape, sparsity profile, progress, seed).
- * On top of that purity sit two features:
+ * Results are *content addressed* per (layer, op) cell: each cell is a
+ * pure function of its inputs and carries a TaskKey fingerprinting all
+ * of them (the variant's effective config, layer shape, sparsity
+ * profile, progress, seed, and which op).  The workload phase is
+ * deliberately NOT part of a cell's key — it only selects which cells
+ * exist — so an inference sweep's Forward cells are served straight
+ * from the cache a training sweep populated.  On top of that purity
+ * sit two features:
  *
  *  - Memoisation: the task claim loop consults a ResultStore before
  *    simulating, so repeated sweeps sharing cells (fig13 vs fig15 run
@@ -79,8 +85,13 @@ namespace tensordash {
  * v2: SweepResult grids gained the config-variant dimension (variant
  * labels + per-variant memory models in the header) and TaskKey gained
  * the synthesis salt and write-back-estimate inputs.
+ *
+ * v3: results are content addressed per (layer, op) cell instead of
+ * per layer — TaskKey::forOp replaced forLayer, cache blobs hold one
+ * OpCellResult, LayerResult became a phase-sized op set, and sweep
+ * headers tag every variant's WorkloadPhase.
  */
-inline constexpr uint32_t kResultFormatVersion = 2;
+inline constexpr uint32_t kResultFormatVersion = 3;
 
 /** Configuration of one model-level run. */
 struct RunConfig
@@ -93,6 +104,19 @@ struct RunConfig
      * for energy only.
      */
     AcceleratorConfig accel;
+
+    /**
+     * Workload phase: which op set every layer runs.  Training
+     * simulates the three convolutions of Table 1 (AxW, AxG, WxG);
+     * Inference is forward-only serving traffic (AxW).  Sweep the
+     * phase as a config axis with phaseAxis().
+     *
+     * The phase selects op cells, it is never part of a cell's
+     * identity: cells are keyed per op (TaskKey::forOp), so an
+     * inference sweep's Forward cells warm-hit the cache a training
+     * sweep of the same configuration populated.
+     */
+    WorkloadPhase phase = WorkloadPhase::Training;
 
     /** Training progress in [0, 1] driving the temporal profile. */
     double progress = 0.5;
@@ -126,24 +150,28 @@ struct RunConfig
 };
 
 /**
- * Content-addressed identity of one per-layer simulation task: a
- * stable FNV-1a fingerprint over everything the task's result depends
+ * Content-addressed identity of one (layer, op) simulation cell: a
+ * stable FNV-1a fingerprint over everything the cell's result depends
  * on — the full accelerator configuration (memory model and DRAM
  * timing included, with the model's wg_side override applied), the
  * layer shape, the model's sparsity calibration and batch, the
  * training progress, the synthesis seed, the layer's position in the
- * serial Rng fork order, the sweep's synthesis contract (salt +
- * write-back estimate switch) and the result format version.  Equal
- * keys mean bit-identical results on any platform; any input change
- * yields a new key.
+ * serial Rng fork order, which training op, the sweep's synthesis
+ * contract (salt + write-back estimate switch) and the result format
+ * version.  Equal keys mean bit-identical results on any platform; any
+ * input change yields a new key.
+ *
+ * The workload phase is intentionally absent: a layer's Forward op is
+ * the identical computation whether it runs inside a training or an
+ * inference sweep, so both phases address the same cell.
  */
 struct TaskKey
 {
     uint64_t value = 0;
 
     /**
-     * Key of layer @p layer of @p model at @p progress under
-     * @p config.
+     * Key of op @p op of layer @p layer of @p model at @p progress
+     * under @p config.
      *
      * @param synthesis_salt        content id of a custom synthesis
      *                              hook (0 = the zoo's synthesize; see
@@ -151,11 +179,11 @@ struct TaskKey
      * @param estimate_out_sparsity whether write-back traffic is sized
      *                              from the inputs' measured sparsity
      */
-    static TaskKey forLayer(const RunConfig &config,
-                            const ModelProfile &model, size_t layer,
-                            double progress,
-                            uint64_t synthesis_salt = 0,
-                            bool estimate_out_sparsity = true);
+    static TaskKey forOp(const RunConfig &config,
+                         const ModelProfile &model, size_t layer,
+                         TrainOp op, double progress,
+                         uint64_t synthesis_salt = 0,
+                         bool estimate_out_sparsity = true);
 
     /** 16 lowercase hex digits (cache file names). */
     std::string hex() const;
@@ -164,18 +192,32 @@ struct TaskKey
 };
 
 /**
- * What one per-layer task produces: the three training convolutions'
- * results and their energy splits.  This is the unit of caching and
- * sharding; everything model-level is reduced from these in serial
+ * What one (layer, op) cell produces: one op's cycle/activity result
+ * and its baseline/TensorDash energy splits.  This is the unit of
+ * caching; everything model-level is reduced from these in serial
  * order afterwards.
+ */
+struct OpCellResult
+{
+    OpResult op;
+    EnergyBreakdown energy_base;
+    EnergyBreakdown energy_td;
+
+    /** Bit-exact binary round-trip (result cache / shard files). */
+    void serialize(ByteWriter &w) const;
+    void deserialize(ByteReader &r);
+};
+
+/**
+ * One layer's op set under its variant's workload phase, in phaseOps()
+ * order (the unit of sharding — a grid slot is a whole layer, whose
+ * cells were looked up or simulated per op).
  */
 struct LayerResult
 {
-    std::array<OpResult, 3> ops;
-    std::array<EnergyBreakdown, 3> energy_base;
-    std::array<EnergyBreakdown, 3> energy_td;
+    std::vector<OpCellResult> cells;
 
-    /** Bit-exact binary round-trip (result cache / shard files). */
+    /** Bit-exact binary round-trip (shard files). */
     void serialize(ByteWriter &w) const;
     void deserialize(ByteReader &r);
 };
@@ -282,6 +324,15 @@ using AxisOption =
 SweepAxis axis(std::string label, std::vector<AxisOption> options);
 
 /**
+ * The workload-phase axis ("phase" = training, inference): sweeps the
+ * same grid forward-only next to full training.  Because cells are
+ * keyed per op, the inference variant's Forward cells are the training
+ * variant's — within one sweep they simulate once, and against a cache
+ * dir a prior training sweep warms them entirely.
+ */
+SweepAxis phaseAxis();
+
+/**
  * Declarative description of one experiment sweep: which models, at
  * which training points, across which configuration axes.  The engine
  * expands the cross product of the axes into config variants (first
@@ -360,10 +411,11 @@ struct ModelRunResult
     /** Memory model the run was simulated under. */
     MemoryModel memory_model = MemoryModel::Pipelined;
 
-    /** Per-op aggregates in TrainOp order (AxW, AxG, WxG). */
-    std::array<OpResult, 3> ops;
+    /** Per-op aggregates in the phase's op order (Training: AxW, AxG,
+     * WxG; Inference: AxW only). */
+    std::vector<OpResult> ops = std::vector<OpResult>(3);
 
-    /** All three ops merged. */
+    /** The phase's ops merged. */
     OpResult total;
 
     /** Energy over the whole run. */
@@ -372,16 +424,28 @@ struct ModelRunResult
 
     double speedup() const { return total.speedup(); }
 
+    /** Aggregate for @p op, or nullptr when the phase doesn't run it. */
+    const OpResult *
+    findOp(TrainOp op) const
+    {
+        for (const OpResult &r : ops)
+            if (r.op == op)
+                return &r;
+        return nullptr;
+    }
+
     double
     opSpeedup(TrainOp op) const
     {
-        return ops[(int)op].speedup();
+        const OpResult *r = findOp(op);
+        return r ? r->speedup() : 1.0;
     }
 
     double
     opPotential(TrainOp op) const
     {
-        return ops[(int)op].potentialSpeedup();
+        const OpResult *r = findOp(op);
+        return r ? r->potentialSpeedup() : 1.0;
     }
 
     double totalPotential() const { return total.potentialSpeedup(); }
@@ -438,6 +502,10 @@ struct SweepResult
      * flip it per variant). */
     std::vector<MemoryModel> variant_memory_models;
 
+    /** Workload phase each variant runs (phaseAxis() may flip it per
+     * variant); decides how many op cells its layer slots hold. */
+    std::vector<WorkloadPhase> variant_phases;
+
     /** Model names, in the order they were passed. */
     std::vector<std::string> models;
 
@@ -469,8 +537,9 @@ struct SweepResult
     std::vector<LayerResult> layer_results;
     std::vector<uint8_t> present;
 
-    /** Tasks served from the ResultStore vs actually simulated.  A
-     * fully warm cache shows simulated == 0. */
+    /** Op cells served from the ResultStore vs actually simulated.  A
+     * fully warm cache shows simulated == 0; an inference sweep over a
+     * grid whose training twin already ran shows exactly that. */
     size_t cache_hits = 0;
     size_t simulated = 0;
 
@@ -483,6 +552,18 @@ struct SweepResult
     size_t modelCount() const { return models.size(); }
     size_t pointCount() const { return progress_points.size(); }
     size_t taskCount() const { return layer_results.size(); }
+
+    /** Phase of variant @p v (Training for pre-phase sweeps). */
+    WorkloadPhase
+    variantPhase(size_t v) const
+    {
+        return v < variant_phases.size() ? variant_phases[v]
+                                         : WorkloadPhase::Training;
+    }
+
+    /** Total op cells across the grid (layer slots x their variant's
+     * op count) — the denominator cache_hits/simulated split. */
+    size_t cellCount() const;
 
     /** Grid cells this sweep holds. */
     size_t presentCount() const;

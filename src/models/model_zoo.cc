@@ -23,6 +23,39 @@ ModelProfile::totalMacs() const
     return total * (uint64_t)batch;
 }
 
+void
+LayerSpec::validate(const std::string &model_name) const
+{
+    TD_ASSERT(in_c >= 1, "model '%s' layer '%s': in_c must be >= 1, "
+              "got %d", model_name.c_str(), name.c_str(), in_c);
+    TD_ASSERT(in_hw >= 1, "model '%s' layer '%s': in_hw must be >= 1, "
+              "got %d", model_name.c_str(), name.c_str(), in_hw);
+    TD_ASSERT(out_c >= 1, "model '%s' layer '%s': out_c must be >= 1, "
+              "got %d", model_name.c_str(), name.c_str(), out_c);
+    TD_ASSERT(kernel >= 1, "model '%s' layer '%s': kernel must be "
+              ">= 1, got %d", model_name.c_str(), name.c_str(), kernel);
+    TD_ASSERT(stride >= 1, "model '%s' layer '%s': stride must be "
+              ">= 1, got %d", model_name.c_str(), name.c_str(), stride);
+    TD_ASSERT(pad >= 0, "model '%s' layer '%s': pad must be >= 0, "
+              "got %d", model_name.c_str(), name.c_str(), pad);
+    TD_ASSERT(outHw() >= 1,
+              "model '%s' layer '%s': output geometry collapses "
+              "(in_hw=%d kernel=%d stride=%d pad=%d gives out_hw=%d)",
+              model_name.c_str(), name.c_str(), in_hw, kernel, stride,
+              pad, outHw());
+}
+
+void
+ModelProfile::validate() const
+{
+    TD_ASSERT(!layers.empty(), "model '%s' has no layers",
+              name.c_str());
+    TD_ASSERT(batch >= 1, "model '%s': batch must be >= 1, got %d",
+              name.c_str(), batch);
+    for (const LayerSpec &l : layers)
+        l.validate(name);
+}
+
 namespace {
 
 LayerSpec
@@ -283,6 +316,50 @@ snli()
     return m;
 }
 
+ModelProfile
+wideDeep()
+{
+    ModelProfile m;
+    m.name = "WideDeep";
+    m.description = "Wide & Deep recommender (Cheng et al.): embedding "
+                    "concat through an MLP tower plus a wide linear "
+                    "head";
+    m.layers = {
+        fc("deep.embed", 416, 1024),
+        fc("deep.mlp1", 1024, 512),
+        fc("deep.mlp2", 512, 256),
+        fc("deep.out", 256, 1),
+        fc("wide.out", 416, 1),
+    };
+    // ReLU MLP tower over sparse-feature embeddings: strong activation
+    // sparsity, moderate gradients, dense weights.
+    m.sparsity = {0.62, 0.70, 0.0, 0.3, TemporalShape::DenseModel};
+    // The concatenated one-hot/embedding input is mostly zeros.
+    m.layers[0].act_sparsity = 0.90;
+    m.batch = 64;
+    return m;
+}
+
+ModelProfile
+neumf()
+{
+    ModelProfile m;
+    m.name = "NeuMF";
+    m.description = "Neural collaborative filtering (He et al.): MLP "
+                    "tower fused with a generalized matrix-factor "
+                    "branch";
+    m.layers = {
+        fc("mlp.fc1", 256, 256),
+        fc("mlp.fc2", 256, 128),
+        fc("mlp.fc3", 128, 64),
+        fc("gmf.proj", 128, 64),
+        fc("predict", 128, 1),
+    };
+    m.sparsity = {0.58, 0.66, 0.0, 0.35, TemporalShape::DenseModel};
+    m.batch = 64;
+    return m;
+}
+
 } // namespace
 
 ModelProfile
@@ -326,10 +403,19 @@ ModelZoo::paperModelNames()
     return names;
 }
 
+std::vector<ModelProfile>
+ModelZoo::recommenderModels()
+{
+    return {wideDeep(), neumf()};
+}
+
 ModelProfile
 ModelZoo::byName(const std::string &name)
 {
     for (auto &m : paperModels())
+        if (m.name == name)
+            return m;
+    for (auto &m : recommenderModels())
         if (m.name == name)
             return m;
     if (name == "GCN")
@@ -344,6 +430,7 @@ LayerTensors
 ModelZoo::synthesize(const ModelProfile &model, const LayerSpec &layer,
                      double progress, Rng &rng)
 {
+    layer.validate(model.name);
     double scale = temporalSparsityScale(model.sparsity.temporal,
                                          progress);
     auto clamp01 = [](double v) { return std::clamp(v, 0.0, 0.995); };

@@ -50,6 +50,14 @@ struct LayerSpec
     uint64_t macsPerSample() const;
 
     /**
+     * Panic (TD_ASSERT) on a structurally impossible layer: a
+     * non-positive channel count, spatial extent, kernel or stride, a
+     * negative pad, or output geometry that collapses below 1x1.
+     * @p model_name labels the diagnostic.
+     */
+    void validate(const std::string &model_name) const;
+
+    /**
      * Mix every result-affecting field into a task fingerprint.  The
      * name is deliberately excluded: two identically-shaped layers are
      * the same simulation whatever they are called.
@@ -105,6 +113,13 @@ struct ModelProfile
 
     /** Total dense MACs per op across all layers and the batch. */
     uint64_t totalMacs() const;
+
+    /** Panic on a structurally invalid profile: no layers, a
+     * non-positive batch, or any invalid layer (LayerSpec::validate).
+     * Every grid entry point and synthesize call validates, so a typo
+     * in a hand-built profile fails with the model and layer named
+     * instead of corrupting lowering arithmetic downstream. */
+    void validate() const;
 };
 
 /** Tensors synthesised for one layer at a training point. */
@@ -122,6 +137,14 @@ class ModelZoo
   public:
     /** All evaluation models (Fig. 13 order) -- excludes GCN. */
     static std::vector<ModelProfile> paperModels();
+
+    /**
+     * FC/embedding-heavy recommendation models (wide-and-deep and
+     * neural collaborative filtering style MLP towers).  Not part of
+     * the paper suite — they extend the inference sweeps with the
+     * serving-dominated workload class whose layers are pure matmuls.
+     */
+    static std::vector<ModelProfile> recommenderModels();
 
     /** The no-sparsity control model of section 4.4. */
     static ModelProfile gcn();

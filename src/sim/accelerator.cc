@@ -185,6 +185,65 @@ Accelerator::runConvOp(TrainOp op, const Tensor &acts,
     return result;
 }
 
+OpResult
+Accelerator::runFcOp(TrainOp op, const Tensor &acts,
+                     const Tensor &weights, const Tensor &out_grads,
+                     double out_sparsity) const
+{
+    Dataflow dataflow(config_.dataflow(false));
+    LoweredOp lowered;
+    uint64_t in0_nz = 0, in0_total = 0, in1_nz = 0, in1_total = 0;
+    uint64_t out_total = 0;
+    uint64_t transposed = 0;
+    std::string gate_key;
+
+    // Operand accounting mirrors runConvOp: an FC layer moves the same
+    // tensors, only the lowering skips the spatial index math.
+    switch (op) {
+      case TrainOp::Forward:
+        lowered = dataflow.lowerFcForward(acts, weights,
+                                          config_.fwd_side);
+        in0_nz = acts.nonzeros();
+        in0_total = acts.size();
+        in1_nz = weights.nonzeros();
+        in1_total = weights.size();
+        out_total = lowered.out_shape.size();
+        gate_key = lowered.b_is_default_side ? "acts" : "weights";
+        break;
+      case TrainOp::BackwardData:
+        lowered = dataflow.lowerFcBackwardData(out_grads, weights,
+                                               acts.shape(),
+                                               config_.bwd_data_side);
+        in0_nz = out_grads.nonzeros();
+        in0_total = out_grads.size();
+        in1_nz = weights.nonzeros();
+        in1_total = weights.size();
+        out_total = lowered.out_shape.size();
+        // The transposed weight matrix passes through the transposers.
+        transposed = weights.size();
+        gate_key = lowered.b_is_default_side ? "grads" : "weights";
+        break;
+      case TrainOp::BackwardWeights:
+        lowered = dataflow.lowerFcBackwardWeights(out_grads, acts,
+                                                  config_.wg_side);
+        in0_nz = out_grads.nonzeros();
+        in0_total = out_grads.size();
+        in1_nz = acts.nonzeros();
+        in1_total = acts.size();
+        out_total = lowered.out_shape.size();
+        // Gradients are re-bundled per feature (transposed layout).
+        transposed = out_grads.size();
+        gate_key = lowered.wg_b_is_gradients ? "grads" : "acts";
+        break;
+    }
+
+    OpResult result = runOp(lowered, gate_key);
+    applyMemory(result, memoryDemand(in0_nz, in0_total, in1_nz,
+                                     in1_total, out_total, out_sparsity,
+                                     transposed));
+    return result;
+}
+
 Accelerator::OpMemoryDemand
 Accelerator::memoryDemand(uint64_t in0_nz, uint64_t in0_total,
                           uint64_t in1_nz, uint64_t in1_total,

@@ -236,6 +236,23 @@ class Accelerator
                        double out_sparsity = 0.0) const;
 
     /**
+     * Lower and run one matmul/fully-connected training op including
+     * the memory traffic charge.  Operands use the 4-D convention with
+     * h = w = 1 (A (N, C, 1, 1), W (F, C, 1, 1), GO (N, F, 1, 1));
+     * results are bit-identical to runConvOp on the equivalent
+     * kernel=1/stride=1/pad=0 convolution.
+     *
+     * @param op            which training matmul
+     * @param acts          A (N, C, 1, 1)
+     * @param weights       W (F, C, 1, 1)
+     * @param out_grads     GO (N, F, 1, 1); may be empty for Forward
+     * @param out_sparsity  estimated zero fraction of the op's output
+     */
+    OpResult runFcOp(TrainOp op, const Tensor &acts,
+                     const Tensor &weights, const Tensor &out_grads,
+                     double out_sparsity = 0.0) const;
+
+    /**
      * Functional run: exhaustive lowering with values, producing the
      * op's full output tensor through the TensorDash tiles.
      */

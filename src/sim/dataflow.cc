@@ -18,6 +18,30 @@ trainOpName(TrainOp op)
     return "?";
 }
 
+const char *
+phaseName(WorkloadPhase phase)
+{
+    switch (phase) {
+      case WorkloadPhase::Training: return "training";
+      case WorkloadPhase::Inference: return "inference";
+    }
+    return "?";
+}
+
+std::span<const TrainOp>
+phaseOps(WorkloadPhase phase)
+{
+    static constexpr TrainOp kTrainingOps[] = {
+        TrainOp::Forward, TrainOp::BackwardData,
+        TrainOp::BackwardWeights};
+    static constexpr TrainOp kInferenceOps[] = {TrainOp::Forward};
+    switch (phase) {
+      case WorkloadPhase::Training: return kTrainingOps;
+      case WorkloadPhase::Inference: return kInferenceOps;
+    }
+    return {};
+}
+
 namespace {
 
 /** One side of the output grid: how many outputs, how to gather. */
@@ -312,6 +336,131 @@ Dataflow::lowerBackwardWeights(const Tensor &out_grads, const Tensor &acts,
                        act_side, reduction, out_shape)
         : lowerGeneric(config_, TrainOp::BackwardWeights, act_side,
                        grad_side, reduction, out_shape);
+    lowered.wg_b_is_gradients = side == WgSide::Gradients;
+    return lowered;
+}
+
+namespace {
+
+/** Matmul operands carry no spatial extent. */
+void
+assertMatmulShape(const Tensor &t, const char *what)
+{
+    TD_ASSERT(t.shape().h == 1 && t.shape().w == 1,
+              "fc lowering wants 1x1 spatial %s, got %dx%d", what,
+              t.shape().h, t.shape().w);
+}
+
+} // namespace
+
+LoweredOp
+Dataflow::lowerFcForward(const Tensor &acts, const Tensor &weights,
+                         FwdSide side) const
+{
+    const Shape &as = acts.shape();
+    const Shape &ws = weights.shape();
+    TD_ASSERT(as.c == ws.c, "channel mismatch in fc forward lowering");
+    assertMatmulShape(acts, "activations");
+    assertMatmulShape(weights, "weights");
+
+    if (side == FwdSide::Auto) {
+        side = weights.sparsity() > acts.sparsity()
+            ? FwdSide::Weights : FwdSide::Activations;
+    }
+
+    // Rows of A (one per sample) against rows of W (one per output
+    // feature), reduced over in_c in lane-wide blocks.
+    SideSpec b{
+        as.n,
+        [&acts](int o, int r) -> float { return acts.at(o, r, 0, 0); }};
+    SideSpec a{
+        ws.n,
+        [&weights](int f, int r) -> float {
+            return weights.at(f, r, 0, 0);
+        }};
+
+    LoweredOp lowered = side == FwdSide::Activations
+        ? lowerGeneric(config_, TrainOp::Forward, b, a, as.c,
+                       Shape{as.n, ws.n, 1, 1})
+        : lowerGeneric(config_, TrainOp::Forward, a, b, as.c,
+                       Shape{as.n, ws.n, 1, 1});
+    lowered.b_is_default_side = side == FwdSide::Activations;
+    return lowered;
+}
+
+LoweredOp
+Dataflow::lowerFcBackwardData(const Tensor &out_grads,
+                              const Tensor &weights,
+                              const Shape &input_shape,
+                              BwdDataSide side) const
+{
+    const Shape &gs = out_grads.shape();
+    const Shape &ws = weights.shape();
+    TD_ASSERT(gs.c == ws.n,
+              "filter mismatch in fc backward-data lowering");
+    assertMatmulShape(out_grads, "gradients");
+    assertMatmulShape(weights, "weights");
+
+    if (side == BwdDataSide::Auto) {
+        side = weights.sparsity() > out_grads.sparsity()
+            ? BwdDataSide::Weights : BwdDataSide::Gradients;
+    }
+
+    // GA = GO x W: gradient rows against weight columns, reduced over
+    // the out_c features.
+    SideSpec b{
+        input_shape.n,
+        [&out_grads](int o, int r) -> float {
+            return out_grads.at(o, r, 0, 0);
+        }};
+    SideSpec a{
+        input_shape.c,
+        [&weights](int c, int r) -> float {
+            return weights.at(r, c, 0, 0);
+        }};
+
+    LoweredOp lowered = side == BwdDataSide::Gradients
+        ? lowerGeneric(config_, TrainOp::BackwardData, b, a, ws.n,
+                       input_shape)
+        : lowerGeneric(config_, TrainOp::BackwardData, a, b, ws.n,
+                       input_shape);
+    lowered.b_is_default_side = side == BwdDataSide::Gradients;
+    return lowered;
+}
+
+LoweredOp
+Dataflow::lowerFcBackwardWeights(const Tensor &out_grads,
+                                 const Tensor &acts, WgSide side) const
+{
+    const Shape &gs = out_grads.shape();
+    const Shape &as = acts.shape();
+    TD_ASSERT(gs.n == as.n,
+              "batch mismatch in fc backward-weights lowering");
+    assertMatmulShape(out_grads, "gradients");
+    assertMatmulShape(acts, "activations");
+
+    if (side == WgSide::Auto) {
+        side = out_grads.sparsity() >= acts.sparsity()
+            ? WgSide::Gradients : WgSide::Activations;
+    }
+
+    // GW = GO^T x A: per-feature gradient columns against per-input
+    // activation columns, reduced over the batch.
+    SideSpec grad_side{
+        gs.c,
+        [&out_grads](int f, int r) -> float {
+            return out_grads.at(r, f, 0, 0);
+        }};
+    SideSpec act_side{
+        as.c,
+        [&acts](int c, int r) -> float { return acts.at(r, c, 0, 0); }};
+
+    Shape out_shape{gs.c, as.c, 1, 1};
+    LoweredOp lowered = side == WgSide::Gradients
+        ? lowerGeneric(config_, TrainOp::BackwardWeights, grad_side,
+                       act_side, gs.n, out_shape)
+        : lowerGeneric(config_, TrainOp::BackwardWeights, act_side,
+                       grad_side, gs.n, out_shape);
     lowered.wg_b_is_gradients = side == WgSide::Gradients;
     return lowered;
 }

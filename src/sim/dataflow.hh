@@ -29,6 +29,7 @@
  */
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.hh"
@@ -43,6 +44,28 @@ enum class TrainOp { Forward, BackwardData, BackwardWeights };
 
 /** @return short name, e.g. "AxW" as the paper labels the operations. */
 const char *trainOpName(TrainOp op);
+
+/**
+ * Which op set every layer of a workload runs.  Training executes the
+ * three convolutions of Table 1 (AxW, AxG, WxG); Inference is
+ * forward-only serving traffic (AxW), the regime the arXiv extension
+ * (2009.00748) evaluates alongside training.
+ *
+ * The phase decides *which* ops exist, never how an op simulates: a
+ * layer's Forward op is the identical computation under either phase,
+ * which is why per-op result cells are shared between training and
+ * inference sweeps (see TaskKey::forOp).
+ */
+enum class WorkloadPhase { Training, Inference };
+
+/** @return "training" or "inference". */
+const char *phaseName(WorkloadPhase phase);
+
+/** The op set of @p phase, in serial execution order. */
+std::span<const TrainOp> phaseOps(WorkloadPhase phase);
+
+/** Upper bound on any phase's op-set size (serialization guards). */
+inline constexpr size_t kMaxPhaseOps = 3;
 
 /** Which operand the B (scheduled) side carries for GW = GO (*) A. */
 enum class WgSide
@@ -154,6 +177,35 @@ class Dataflow
                                    const Tensor &acts, int kernel_h,
                                    int kernel_w, const ConvSpec &spec,
                                    WgSide side = WgSide::Auto) const;
+
+    /*
+     * Matmul/fully-connected lowerings.  An FC layer is a plain matrix
+     * product — no spatial windows, stride arithmetic or padding — so
+     * these gather operand rows directly instead of routing through
+     * the degenerate 1x1-conv index math.  Operands use the 4-D tensor
+     * convention with h = w = 1: A (N, C, 1, 1), W (F, C, 1, 1),
+     * GO (N, F, 1, 1).  Job grids, gather order and the sampling Rng
+     * match the conv lowerings exactly on these shapes, so the
+     * resulting streams are bit-identical to the historical 1x1-conv
+     * path (enforced by the FC parity tests).
+     */
+
+    /** Lower O = A x W^T (reduction over in_c).  B side per @p side:
+     * Auto schedules the sparser of activations/weights. */
+    LoweredOp lowerFcForward(const Tensor &acts, const Tensor &weights,
+                             FwdSide side = FwdSide::Activations) const;
+
+    /** Lower GA = GO x W (reduction over out_c). */
+    LoweredOp lowerFcBackwardData(const Tensor &out_grads,
+                                  const Tensor &weights,
+                                  const Shape &input_shape,
+                                  BwdDataSide side =
+                                      BwdDataSide::Gradients) const;
+
+    /** Lower GW = GO^T x A (reduction over the batch). */
+    LoweredOp lowerFcBackwardWeights(const Tensor &out_grads,
+                                     const Tensor &acts,
+                                     WgSide side = WgSide::Auto) const;
 
     /**
      * Scatter one job's functional outputs into the result tensor.

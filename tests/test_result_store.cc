@@ -192,8 +192,10 @@ TEST(TaskKeyTest, IndependentlyBuiltIdenticalInputsGiveTheSameKey)
     // The key is a pure function of values: rebuilding the same
     // config/model from scratch (different addresses, different
     // process history) yields the identical key.
-    TaskKey a = TaskKey::forLayer(storeConfig(1), tinyModel(), 1, 0.5);
-    TaskKey b = TaskKey::forLayer(storeConfig(1), tinyModel(), 1, 0.5);
+    TaskKey a = TaskKey::forOp(storeConfig(1), tinyModel(), 1,
+                               TrainOp::Forward, 0.5);
+    TaskKey b = TaskKey::forOp(storeConfig(1), tinyModel(), 1,
+                               TrainOp::Forward, 0.5);
     EXPECT_EQ(a.value, b.value);
     EXPECT_EQ(a.hex(), b.hex());
     EXPECT_EQ(a.hex().size(), 16u);
@@ -205,11 +207,12 @@ TEST(TaskKeyTest, NamesDoNotAffectTheKey)
     // change what is simulated.
     RunConfig cfg = storeConfig(1);
     ModelProfile m = tinyModel();
-    TaskKey base = TaskKey::forLayer(cfg, m, 0, 0.5);
+    TaskKey base = TaskKey::forOp(cfg, m, 0, TrainOp::Forward, 0.5);
     m.name = "renamed";
     m.description = "different description";
     m.layers[0].name = "renamed_layer";
-    EXPECT_EQ(TaskKey::forLayer(cfg, m, 0, 0.5).value, base.value);
+    EXPECT_EQ(TaskKey::forOp(cfg, m, 0, TrainOp::Forward, 0.5).value,
+              base.value);
 }
 
 TEST(TaskKeyTest, EveryResultAffectingFieldChangesTheKey)
@@ -225,8 +228,9 @@ TEST(TaskKeyTest, EveryResultAffectingFieldChangesTheKey)
         size_t layer = 0;
         double progress = 0.5;
         mutate(cfg, m, layer, progress);
-        keys.push_back(
-            TaskKey::forLayer(cfg, m, layer, progress).value);
+        keys.push_back(TaskKey::forOp(cfg, m, layer, TrainOp::Forward,
+                                      progress)
+                           .value);
     };
     auto nop = [](RunConfig &, ModelProfile &, size_t &, double &) {};
     add(nop); // baseline
@@ -312,14 +316,27 @@ TEST(TaskKeyTest, EveryResultAffectingFieldChangesTheKey)
     cfg_mut(
         [](C &c) { c.accel.bwd_data_side = BwdDataSide::Weights; });
 
+    // Which convolution the cell holds is part of the key (the
+    // workload *phase* deliberately is not — phase only selects which
+    // cells a run addresses, so training and inference sweeps share
+    // their Forward cells).
+    keys.push_back(TaskKey::forOp(storeConfig(1), tinyModel(), 0,
+                                  TrainOp::BackwardData, 0.5)
+                       .value);
+    keys.push_back(TaskKey::forOp(storeConfig(1), tinyModel(), 0,
+                                  TrainOp::BackwardWeights, 0.5)
+                       .value);
+
     // The sweep-level synthesis contract (custom hook salt and the
     // write-back sizing switch) is part of every key too.
-    keys.push_back(TaskKey::forLayer(storeConfig(1), tinyModel(), 0,
-                                     0.5, /*synthesis_salt=*/0x77)
+    keys.push_back(TaskKey::forOp(storeConfig(1), tinyModel(), 0,
+                                  TrainOp::Forward, 0.5,
+                                  /*synthesis_salt=*/0x77)
                        .value);
-    keys.push_back(TaskKey::forLayer(storeConfig(1), tinyModel(), 0,
-                                     0.5, /*synthesis_salt=*/0,
-                                     /*estimate_out_sparsity=*/false)
+    keys.push_back(TaskKey::forOp(storeConfig(1), tinyModel(), 0,
+                                  TrainOp::Forward, 0.5,
+                                  /*synthesis_salt=*/0,
+                                  /*estimate_out_sparsity=*/false)
                        .value);
 
     std::set<uint64_t> unique(keys.begin(), keys.end());
@@ -336,9 +353,12 @@ TEST(TaskKeyTest, ModelWgSideOverrideBeatsTheConfig)
     RunConfig cfg = storeConfig(1);
     ModelProfile m = tinyModel();
     m.wg_side = WgSide::Gradients;
-    TaskKey base = TaskKey::forLayer(cfg, m, 0, 0.5);
+    TaskKey base =
+        TaskKey::forOp(cfg, m, 0, TrainOp::BackwardWeights, 0.5);
     cfg.accel.wg_side = WgSide::Activations; // overridden: no effect
-    EXPECT_EQ(TaskKey::forLayer(cfg, m, 0, 0.5).value, base.value);
+    EXPECT_EQ(
+        TaskKey::forOp(cfg, m, 0, TrainOp::BackwardWeights, 0.5).value,
+        base.value);
 }
 
 TEST(ResultStoreTest, WarmMemoRunIsBitIdenticalWithZeroSimulations)
@@ -351,10 +371,10 @@ TEST(ResultStoreTest, WarmMemoRunIsBitIdenticalWithZeroSimulations)
 
     SweepResult cold = runner.runMany(models);
     EXPECT_EQ(cold.cache_hits, 0u);
-    EXPECT_EQ(cold.simulated, cold.taskCount());
+    EXPECT_EQ(cold.simulated, cold.cellCount());
 
     SweepResult warm = runner.runMany(models);
-    EXPECT_EQ(warm.cache_hits, warm.taskCount());
+    EXPECT_EQ(warm.cache_hits, warm.cellCount());
     EXPECT_EQ(warm.simulated, 0u);
 
     // The acceptance bar: a cached run is bit-identical to a cold
@@ -375,12 +395,12 @@ TEST(ResultStoreTest, CacheOffNeverConsultsTheStore)
     RunConfig cfg = storeConfig(2002);
     const std::vector<ModelProfile> models = {tinyModel()};
     SweepResult first = ModelRunner(cfg).runMany(models);
-    EXPECT_EQ(first.simulated, first.taskCount());
+    EXPECT_EQ(first.simulated, first.cellCount());
 
     cfg.cache = false;
     SweepResult second = ModelRunner(cfg).runMany(models);
     EXPECT_EQ(second.cache_hits, 0u);
-    EXPECT_EQ(second.simulated, second.taskCount());
+    EXPECT_EQ(second.simulated, second.cellCount());
     EXPECT_EQ(contentBytes(first), contentBytes(second));
     ResultStore::shared().clearMemo();
 }
@@ -395,17 +415,18 @@ TEST(ResultStoreTest, DiskCacheServesAFreshProcessWorthOfRuns)
                                               tinyModelB()};
 
     SweepResult cold = ModelRunner(cfg).runMany(models);
-    EXPECT_EQ(cold.simulated, cold.taskCount());
+    EXPECT_EQ(cold.simulated, cold.cellCount());
+    // One .tdlr entry per (layer, op) cell, not per task slot.
     size_t entries = 0;
     for (const auto &e : std::filesystem::directory_iterator(dir))
         entries += e.path().extension() == ".tdlr";
-    EXPECT_EQ(entries, cold.taskCount());
+    EXPECT_EQ(entries, cold.cellCount());
 
     // Clearing the memo simulates a fresh process sharing the dir.
     ResultStore::shared().clearMemo();
     SweepResult warm = ModelRunner(cfg).runMany(models);
     EXPECT_EQ(warm.simulated, 0u);
-    EXPECT_EQ(warm.cache_hits, warm.taskCount());
+    EXPECT_EQ(warm.cache_hits, warm.cellCount());
     EXPECT_EQ(contentBytes(cold), contentBytes(warm));
     ResultStore::shared().clearMemo();
 }
@@ -419,7 +440,7 @@ TEST(ResultStoreTest, CorruptDiskEntryIsAMissNotAnError)
     const std::vector<ModelProfile> models = {tinyModel()};
 
     SweepResult cold = ModelRunner(cfg).runMany(models);
-    ASSERT_EQ(cold.simulated, cold.taskCount());
+    ASSERT_EQ(cold.simulated, cold.cellCount());
 
     // Truncate one entry and garbage another field of a second run.
     auto it = std::filesystem::directory_iterator(dir);
@@ -430,7 +451,7 @@ TEST(ResultStoreTest, CorruptDiskEntryIsAMissNotAnError)
     ResultStore::shared().clearMemo();
     SweepResult warm = ModelRunner(cfg).runMany(models);
     EXPECT_EQ(warm.simulated, 1u); // only the corrupt cell re-ran
-    EXPECT_EQ(warm.cache_hits, warm.taskCount() - 1);
+    EXPECT_EQ(warm.cache_hits, warm.cellCount() - 1);
     EXPECT_EQ(contentBytes(cold), contentBytes(warm));
     ResultStore::shared().clearMemo();
 }
@@ -445,7 +466,7 @@ TEST(ResultStoreTest, ListDirReportsEveryEntryWithValidHeaders)
     SweepResult cold = ModelRunner(cfg).runMany(models);
 
     std::vector<CacheEntryInfo> entries = ResultStore::listDir(dir);
-    ASSERT_EQ(entries.size(), cold.taskCount());
+    ASSERT_EQ(entries.size(), cold.cellCount());
     for (const CacheEntryInfo &e : entries) {
         EXPECT_TRUE(e.valid);
         EXPECT_EQ(e.version, kResultFormatVersion);
@@ -463,7 +484,7 @@ TEST(ResultStoreTest, ListDirReportsEveryEntryWithValidHeaders)
     // A garbage file with the entry extension is visible as invalid.
     ASSERT_TRUE(writeFileBytes(dir + "/junk.tdlr", {'x'}));
     entries = ResultStore::listDir(dir);
-    ASSERT_EQ(entries.size(), cold.taskCount() + 1);
+    ASSERT_EQ(entries.size(), cold.cellCount() + 1);
     size_t invalid = 0;
     for (const CacheEntryInfo &e : entries)
         invalid += !e.valid;
@@ -509,12 +530,86 @@ TEST(ResultStoreTest, PruneBoundsTheDirectoryOldestFirst)
     ResultStore::shared().clearMemo();
     SweepResult warm = ModelRunner(cfg).runMany(models);
     EXPECT_EQ(warm.simulated, stats.evicted);
-    EXPECT_EQ(warm.cache_hits, warm.taskCount() - stats.evicted);
+    EXPECT_EQ(warm.cache_hits, warm.cellCount() - stats.evicted);
     EXPECT_EQ(contentBytes(cold), contentBytes(warm));
 
     // max_bytes 0 empties the directory.
     CachePruneStats wipe = ResultStore::prune(dir, 0);
     EXPECT_EQ(wipe.evicted, wipe.scanned);
+    EXPECT_TRUE(ResultStore::listDir(dir).empty());
+    ResultStore::shared().clearMemo();
+}
+
+TEST(ResultStoreTest, PruneMaxAgeEvictsOnlyEntriesOlderThanCutoff)
+{
+    const std::string dir = freshCacheDir("td_store_prune_age");
+    ResultStore::shared().clearMemo();
+    RunConfig cfg = storeConfig(4106);
+    cfg.cache_dir = dir;
+    const std::vector<ModelProfile> models = {tinyModel()};
+    ModelRunner(cfg).runMany(models);
+
+    std::vector<CacheEntryInfo> before = ResultStore::listDir(dir);
+    ASSERT_FALSE(before.empty());
+    const int64_t newest = before.back().mtime;
+
+    // Pin "now" so the test is immune to wall-clock skew.  With every
+    // entry younger than the cutoff, nothing is evicted.
+    CachePruneOptions keep;
+    keep.max_age_seconds = 3600;
+    keep.now = newest + 10;
+    CachePruneStats stats = ResultStore::prune(dir, keep);
+    EXPECT_EQ(stats.scanned, before.size());
+    EXPECT_EQ(stats.evicted, 0u);
+    EXPECT_EQ(ResultStore::listDir(dir).size(), before.size());
+
+    // Move "now" past the age bound: every entry is over-age.
+    CachePruneOptions expire;
+    expire.max_age_seconds = 3600;
+    expire.now = newest + 3602;
+    stats = ResultStore::prune(dir, expire);
+    EXPECT_EQ(stats.evicted, before.size());
+    EXPECT_EQ(stats.evicted_bytes, stats.scanned_bytes);
+    EXPECT_TRUE(ResultStore::listDir(dir).empty());
+    ResultStore::shared().clearMemo();
+}
+
+TEST(ResultStoreTest, PruneDryRunReportsVictimsWithoutDeleting)
+{
+    const std::string dir = freshCacheDir("td_store_prune_dry");
+    ResultStore::shared().clearMemo();
+    RunConfig cfg = storeConfig(4107);
+    cfg.cache_dir = dir;
+    const std::vector<ModelProfile> models = {tinyModel()};
+    ModelRunner(cfg).runMany(models);
+
+    std::vector<CacheEntryInfo> before = ResultStore::listDir(dir);
+    ASSERT_FALSE(before.empty());
+
+    // A dry run under both bounds reports the full eviction set ...
+    CachePruneOptions opts;
+    opts.max_bytes = 0;
+    opts.max_age_seconds = 0;
+    opts.now = before.back().mtime + 100;
+    opts.dry_run = true;
+    CachePruneStats stats = ResultStore::prune(dir, opts);
+    EXPECT_EQ(stats.evicted, before.size());
+    EXPECT_EQ(stats.evicted_bytes, stats.scanned_bytes);
+    EXPECT_EQ(stats.remainingBytes(), 0u);
+
+    // ... but mutates nothing: same entries, bytes and mtimes.
+    std::vector<CacheEntryInfo> after = ResultStore::listDir(dir);
+    ASSERT_EQ(after.size(), before.size());
+    for (size_t i = 0; i < before.size(); ++i) {
+        EXPECT_EQ(after[i].path, before[i].path);
+        EXPECT_EQ(after[i].bytes, before[i].bytes);
+        EXPECT_EQ(after[i].mtime, before[i].mtime);
+    }
+
+    // The real run with the same options then empties the directory.
+    opts.dry_run = false;
+    stats = ResultStore::prune(dir, opts);
+    EXPECT_EQ(stats.evicted, before.size());
     EXPECT_TRUE(ResultStore::listDir(dir).empty());
     ResultStore::shared().clearMemo();
 }
@@ -541,11 +636,12 @@ TEST(ShardedSweep, NWayMergeIsBitIdenticalUnderBothMemoryModels)
                 shards.push_back(
                     runner.runMany(models, points, Shard{i, n}));
 
-            // Partial shards expose no model-level results yet.
+            // Partial shards expose no model-level results yet.  Each
+            // owned task slot simulates its three training-op cells.
             for (const SweepResult &s : shards) {
                 EXPECT_FALSE(s.complete());
                 EXPECT_TRUE(s.results.empty());
-                EXPECT_EQ(s.simulated, s.presentCount());
+                EXPECT_EQ(s.simulated, 3 * s.presentCount());
             }
 
             SweepResult merged = std::move(shards.front());
@@ -639,6 +735,10 @@ TEST(ShardedSweep, DeserializeRejectsHugeDeclaredGrids)
     w.u32(kResultFormatVersion);
     w.u64(0);          // fingerprint
     w.u8(0);           // memory model
+    w.u32(1);          // one variant
+    w.str("");         // variant label
+    w.u8(0);           // variant memory model
+    w.u8(0);           // variant phase (training)
     w.u32(1);          // one model
     w.str("evil");
     w.u32(0xffffffffu); // layer count
@@ -648,7 +748,7 @@ TEST(ShardedSweep, DeserializeRejectsHugeDeclaredGrids)
     w.u32(1);           // shard count
     w.u64(0);           // cache hits
     w.u64(0);           // simulated
-    w.u32(0xffffffffu); // task count: matches 0xffffffff x 1
+    w.u32(0xffffffffu); // task count: matches 0xffffffff x 1 x 1
     SweepResult out;
     EXPECT_FALSE(SweepResult::deserialize(w.data(), &out));
 }

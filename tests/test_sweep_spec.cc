@@ -173,22 +173,27 @@ TEST(SweepSpecTest, ChangingOneAxisValueChangesOnlyThatVariantsCells)
     b.axes = {rowsAxis({2, 8})};
 
     ModelProfile m = tinyModel();
-    TaskKey a0 = TaskKey::forLayer(a.variantConfig(base, 0), m, 0, 0.5);
-    TaskKey b0 = TaskKey::forLayer(b.variantConfig(base, 0), m, 0, 0.5);
-    TaskKey a1 = TaskKey::forLayer(a.variantConfig(base, 1), m, 0, 0.5);
-    TaskKey b1 = TaskKey::forLayer(b.variantConfig(base, 1), m, 0, 0.5);
+    TaskKey a0 = TaskKey::forOp(a.variantConfig(base, 0), m, 0,
+                                TrainOp::Forward, 0.5);
+    TaskKey b0 = TaskKey::forOp(b.variantConfig(base, 0), m, 0,
+                                TrainOp::Forward, 0.5);
+    TaskKey a1 = TaskKey::forOp(a.variantConfig(base, 1), m, 0,
+                                TrainOp::Forward, 0.5);
+    TaskKey b1 = TaskKey::forOp(b.variantConfig(base, 1), m, 0,
+                                TrainOp::Forward, 0.5);
     EXPECT_EQ(a0.value, b0.value); // shared rows=2 variant
     EXPECT_NE(a1.value, b1.value); // rows=4 vs rows=8
     EXPECT_NE(a0.value, a1.value);
 
     // Cache level: rerunning with one value swapped re-simulates only
-    // the swapped variant's cells (5 layers x 1 point per variant).
+    // the swapped variant's cells (5 layers x 1 point x 3 training
+    // ops per variant).
     ResultStore::shared().clearMemo();
     SweepResult cold = ModelRunner(base).runSweep(a);
-    EXPECT_EQ(cold.simulated, 10u);
+    EXPECT_EQ(cold.simulated, 30u);
     SweepResult swapped = ModelRunner(base).runSweep(b);
-    EXPECT_EQ(swapped.cache_hits, 5u);
-    EXPECT_EQ(swapped.simulated, 5u);
+    EXPECT_EQ(swapped.cache_hits, 15u);
+    EXPECT_EQ(swapped.simulated, 15u);
     // The shared variant's cells are bit-identical across the specs.
     for (size_t m2 = 0; m2 < cold.modelCount(); ++m2)
         EXPECT_EQ(cold.at(m2, 0, 0).total.td_cycles,
@@ -294,7 +299,7 @@ TEST(SweepSpecTest, CustomSynthesisIsKeyedByItsSalt)
     spec.estimate_out_sparsity = false;
 
     SweepResult first = ModelRunner(cfg).runSweep(spec);
-    EXPECT_EQ(first.simulated, first.taskCount());
+    EXPECT_EQ(first.simulated, first.cellCount());
     SweepResult same_salt = ModelRunner(cfg).runSweep(spec);
     EXPECT_EQ(same_salt.simulated, 0u);
     EXPECT_EQ(contentBytes(first), contentBytes(same_salt));
@@ -302,23 +307,28 @@ TEST(SweepSpecTest, CustomSynthesisIsKeyedByItsSalt)
     SweepSpec other = spec;
     other.synthesis_salt = 0x2222;
     SweepResult resalted = ModelRunner(cfg).runSweep(other);
-    EXPECT_EQ(resalted.simulated, resalted.taskCount());
+    EXPECT_EQ(resalted.simulated, resalted.cellCount());
     EXPECT_NE(resalted.fingerprint, first.fingerprint);
 
     // The write-back sizing switch is part of every key too.
     ModelProfile m = tinyModel();
-    TaskKey est = TaskKey::forLayer(cfg, m, 0, 0.5, 0, true);
-    TaskKey dense = TaskKey::forLayer(cfg, m, 0, 0.5, 0, false);
+    TaskKey est =
+        TaskKey::forOp(cfg, m, 0, TrainOp::Forward, 0.5, 0, true);
+    TaskKey dense =
+        TaskKey::forOp(cfg, m, 0, TrainOp::Forward, 0.5, 0, false);
     EXPECT_NE(est.value, dense.value);
 
     // A custom hook may seed off the model's identity, so its cells
     // fingerprint the name; the zoo path stays name-independent.
     ModelProfile renamed = m;
     renamed.name = "renamed";
-    EXPECT_NE(TaskKey::forLayer(cfg, m, 0, 0.5, 0x1111).value,
-              TaskKey::forLayer(cfg, renamed, 0, 0.5, 0x1111).value);
-    EXPECT_EQ(TaskKey::forLayer(cfg, m, 0, 0.5).value,
-              TaskKey::forLayer(cfg, renamed, 0, 0.5).value);
+    EXPECT_NE(
+        TaskKey::forOp(cfg, m, 0, TrainOp::Forward, 0.5, 0x1111).value,
+        TaskKey::forOp(cfg, renamed, 0, TrainOp::Forward, 0.5, 0x1111)
+            .value);
+    EXPECT_EQ(
+        TaskKey::forOp(cfg, m, 0, TrainOp::Forward, 0.5).value,
+        TaskKey::forOp(cfg, renamed, 0, TrainOp::Forward, 0.5).value);
     ResultStore::shared().clearMemo();
 }
 

@@ -8,14 +8,19 @@
  *
  *   td-cache ls DIR                     list entries (key, version,
  *                                       size, mtime), oldest first
- *   td-cache prune --max-bytes N DIR    evict oldest-mtime entries
- *                                       until the directory holds at
- *                                       most N bytes
+ *   td-cache prune [--max-bytes N] [--max-age DUR] [--dry-run] DIR
+ *                                       evict entries older than DUR
+ *                                       (s/m/h/d suffixes), then
+ *                                       oldest-mtime entries until the
+ *                                       directory holds at most N
+ *                                       bytes; --dry-run reports the
+ *                                       victims without deleting
  *
  * Eviction is always safe: entries are content addressed, so a pruned
  * result simply re-simulates (and re-caches) on next use.  Entries
  * written under an older kResultFormatVersion are never read again —
- * ls marks them "stale" so prune targets are easy to spot.
+ * ls marks them "stale" so prune targets are easy to spot (an
+ * occasional `prune --max-age 30d` keeps them from accumulating).
  */
 
 #include <cerrno>
@@ -38,11 +43,15 @@ usage(FILE *out)
     std::fprintf(
         out,
         "usage: td-cache ls DIR\n"
-        "       td-cache prune --max-bytes N DIR\n"
+        "       td-cache prune [--max-bytes N] [--max-age DUR] "
+        "[--dry-run] DIR\n"
         "  ls     list cache entries (key, version, size, mtime),\n"
         "         oldest first\n"
-        "  prune  delete oldest-mtime entries until DIR totals at\n"
-        "         most N bytes (0 empties it); safe at any time --\n"
+        "  prune  delete entries older than DUR (suffix s, m, h or d;\n"
+        "         plain = seconds), then oldest-mtime entries until\n"
+        "         DIR totals at most N bytes (0 empties it); at least\n"
+        "         one bound is required.  --dry-run reports what would\n"
+        "         be evicted without deleting.  Safe at any time --\n"
         "         pruned results re-simulate on next use\n");
     return out == stdout ? 0 : 1;
 }
@@ -91,15 +100,59 @@ runLs(const std::string &dir)
 }
 
 int
-runPrune(const std::string &dir, uint64_t max_bytes)
+runPrune(const std::string &dir, const CachePruneOptions &opts)
 {
-    CachePruneStats stats = ResultStore::prune(dir, max_bytes);
-    std::printf("scanned %zu entries (%" PRIu64 " bytes), evicted %zu "
-                "(%" PRIu64 " bytes), %" PRIu64 " bytes remain in %s\n",
-                stats.scanned, stats.scanned_bytes, stats.evicted,
-                stats.evicted_bytes, stats.remainingBytes(),
-                dir.c_str());
+    CachePruneStats stats = ResultStore::prune(dir, opts);
+    std::printf("scanned %zu entries (%" PRIu64 " bytes), %s %zu "
+                "(%" PRIu64 " bytes), %" PRIu64 " bytes %s in %s\n",
+                stats.scanned, stats.scanned_bytes,
+                opts.dry_run ? "would evict" : "evicted",
+                stats.evicted, stats.evicted_bytes,
+                stats.remainingBytes(),
+                opts.dry_run ? "would remain" : "remain", dir.c_str());
     return 0;
+}
+
+/** Parse a non-negative decimal; false on sign, junk or overflow. */
+bool
+parseU64(const char *s, uint64_t *out)
+{
+    // strtoull would silently wrap a negative value ("-1" ->
+    // ULLONG_MAX, i.e. prune nothing); reject anything but a plain
+    // non-negative decimal.
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (s[0] == '-' || end == s || *end != '\0' || errno == ERANGE)
+        return false;
+    *out = (uint64_t)v;
+    return true;
+}
+
+/** Parse a duration: plain seconds or an s/m/h/d-suffixed count. */
+bool
+parseDuration(const char *s, int64_t *out)
+{
+    size_t len = std::strlen(s);
+    if (len == 0)
+        return false;
+    int64_t unit = 1;
+    size_t digits_len = len;
+    switch (s[len - 1]) {
+      case 'd': unit = 86400; digits_len -= 1; break;
+      case 'h': unit = 3600; digits_len -= 1; break;
+      case 'm': unit = 60; digits_len -= 1; break;
+      case 's': unit = 1; digits_len -= 1; break;
+      default: break; // plain seconds; parseU64 rejects junk
+    }
+    std::string digits(s, digits_len);
+    uint64_t v = 0;
+    if (digits.empty() || !parseU64(digits.c_str(), &v))
+        return false;
+    if (v > (uint64_t)(INT64_MAX / unit))
+        return false;
+    *out = (int64_t)v * unit;
+    return true;
 }
 
 } // namespace
@@ -120,23 +173,47 @@ main(int argc, char **argv)
         return runLs(argv[2]);
     }
     if (cmd == "prune") {
-        if (argc != 5 || std::strcmp(argv[2], "--max-bytes") != 0)
-            return usage(stderr);
-        // strtoull would silently wrap a negative value ("-1" ->
-        // ULLONG_MAX, i.e. prune nothing); reject anything but a
-        // plain non-negative decimal.
-        char *end = nullptr;
-        errno = 0;
-        unsigned long long v = std::strtoull(argv[3], &end, 10);
-        if (argv[3][0] == '-' || end == argv[3] || *end != '\0' ||
-            errno == ERANGE) {
-            std::fprintf(stderr,
-                         "td-cache: bad value '%s' for --max-bytes "
-                         "(want a non-negative byte count)\n",
-                         argv[3]);
-            return 1;
+        CachePruneOptions opts;
+        std::string dir;
+        bool have_bound = false;
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--max-bytes") {
+                if (++i >= argc ||
+                    !parseU64(argv[i], &opts.max_bytes)) {
+                    std::fprintf(stderr,
+                                 "td-cache: bad or missing value for "
+                                 "--max-bytes (want a non-negative "
+                                 "byte count)\n");
+                    return 1;
+                }
+                have_bound = true;
+            } else if (arg == "--max-age") {
+                if (++i >= argc ||
+                    !parseDuration(argv[i], &opts.max_age_seconds)) {
+                    std::fprintf(stderr,
+                                 "td-cache: bad or missing value for "
+                                 "--max-age (want a duration like "
+                                 "900, 15m, 6h or 30d)\n");
+                    return 1;
+                }
+                have_bound = true;
+            } else if (arg == "--dry-run") {
+                opts.dry_run = true;
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::fprintf(stderr,
+                             "td-cache: unknown prune option '%s'\n",
+                             arg.c_str());
+                return usage(stderr);
+            } else if (dir.empty()) {
+                dir = arg;
+            } else {
+                return usage(stderr);
+            }
         }
-        return runPrune(argv[4], (uint64_t)v);
+        if (dir.empty() || !have_bound)
+            return usage(stderr);
+        return runPrune(dir, opts);
     }
     std::fprintf(stderr, "td-cache: unknown command '%s'\n",
                  cmd.c_str());
