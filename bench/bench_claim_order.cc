@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Claim-order bench: does the estimator-based claim key schedule the
+ * task grid better than raw dense MACs?
+ *
+ * runGrid() claims tasks costliest-first so a huge layer picked up
+ * late cannot leave the pool tailing on one thread.  "Costliest" used
+ * to mean dense MACs, which ignores everything the simulator actually
+ * pays for — the sampling cap, per-job gather/schedule volume, the
+ * sparse front end's expected cycle reduction.  This bench measures
+ * each (model, layer) task of the fig13 grid individually, then
+ * replays a K-worker greedy claim loop under three orders:
+ *
+ *   macs      dense-MAC descending (the old key)
+ *   estimate  OpEstimator::estimateSimCost descending (the new key)
+ *   oracle    measured-time descending (LPT with perfect knowledge —
+ *             the best any static descending order can do)
+ *
+ * and reports the resulting makespans.  Claim order never changes
+ * results (slots are pre-assigned, the reduce is serial), only
+ * wall-clock — which is exactly what this bench quantifies.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/estimator.hh"
+
+using namespace tensordash;
+using namespace tensordash::bench;
+
+namespace {
+
+struct TaskSample
+{
+    std::string label;
+    double macs = 0.0;     ///< dense MACs (old claim key)
+    double estimate = 0.0; ///< estimateSimCost sum (new claim key)
+    double ms = 0.0;       ///< measured serial simulation time
+};
+
+/** Greedy list scheduling: claim tasks in @p order, always onto the
+ * earliest-free of @p workers; returns the makespan in ms. */
+double
+makespan(const std::vector<TaskSample> &tasks,
+         const std::vector<size_t> &order, int workers)
+{
+    std::vector<double> busy((size_t)workers, 0.0);
+    for (size_t i : order) {
+        auto it = std::min_element(busy.begin(), busy.end());
+        *it += tasks[i].ms;
+    }
+    return *std::max_element(busy.begin(), busy.end());
+}
+
+/** Task indices sorted descending by @p key (stable, like runGrid). */
+template <typename KeyFn>
+std::vector<size_t>
+orderBy(const std::vector<TaskSample> &tasks, KeyFn key)
+{
+    std::vector<size_t> order(tasks.size());
+    std::iota(order.begin(), order.end(), (size_t)0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return key(tasks[a]) > key(tasks[b]);
+                     });
+    return order;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+    banner("claim-order",
+           "greedy makespan under MAC-key vs estimate-key claiming");
+
+    RunConfig cfg = defaultRunConfig(opts);
+    std::vector<ModelProfile> models = ModelZoo::paperModels();
+
+    // Measure every (model, layer) task of the grid serially, exactly
+    // as one runGrid task runs it: private accelerator, the layer's
+    // forked stream, the training op set.
+    std::vector<TaskSample> tasks;
+    for (const ModelProfile &model : models) {
+        AcceleratorConfig accel_cfg = cfg.accel;
+        accel_cfg.wg_side = model.wg_side;
+        Rng rng(cfg.seed * 0x2545f4914f6cdd1dull + 1);
+        for (size_t l = 0; l < model.layers.size(); ++l) {
+            Rng layer_rng = rng.fork();
+            const LayerSpec &layer = model.layers[l];
+            TaskSample t;
+            t.label = model.name + "/" + std::to_string(l);
+            t.macs = (double)layer.macsPerSample() *
+                     (double)model.batch;
+            CellSparsity sp =
+                effectiveCellSparsity(model, l, cfg.progress);
+            // Mirror runGrid's claim key exactly: synthesis volume
+            // (acts + weights + grads elements, paid once per task)
+            // plus the estimated per-op simulation cost.
+            double hw = (double)layer.in_hw * layer.in_hw;
+            double ohw = (double)layer.outHw() * layer.outHw();
+            t.estimate = (double)model.batch * layer.in_c * hw +
+                         (double)layer.out_c * layer.in_c *
+                             layer.kernel * layer.kernel +
+                         (double)model.batch * layer.out_c * ohw;
+            for (TrainOp op : phaseOps(WorkloadPhase::Training))
+                t.estimate += OpEstimator::estimateSimCost(
+                    accel_cfg, layer, model.batch, op, sp);
+
+            Accelerator accel(accel_cfg);
+            auto start = std::chrono::steady_clock::now();
+            LayerTensors tensors = ModelZoo::synthesize(
+                model, layer, cfg.progress, layer_rng);
+            for (TrainOp op : phaseOps(WorkloadPhase::Training)) {
+                if (layer.fc)
+                    accel.runFcOp(op, tensors.acts, tensors.weights,
+                                  tensors.grads, 0.0);
+                else
+                    accel.runConvOp(op, tensors.acts, tensors.weights,
+                                    tensors.grads, tensors.spec, 0.0);
+            }
+            t.ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+            tasks.push_back(std::move(t));
+        }
+    }
+
+    double serial_ms = 0.0;
+    for (const TaskSample &t : tasks)
+        serial_ms += t.ms;
+
+    auto by_macs =
+        orderBy(tasks, [](const TaskSample &t) { return t.macs; });
+    auto by_est =
+        orderBy(tasks, [](const TaskSample &t) { return t.estimate; });
+    auto oracle =
+        orderBy(tasks, [](const TaskSample &t) { return t.ms; });
+
+    Table t;
+    t.header({"workers", "macs-key ms", "estimate-key ms", "oracle ms",
+              "estimate vs macs"});
+    for (int workers : {2, 4, 8, 16}) {
+        double m = makespan(tasks, by_macs, workers);
+        double e = makespan(tasks, by_est, workers);
+        double o = makespan(tasks, oracle, workers);
+        char ratio[32];
+        std::snprintf(ratio, sizeof ratio, "%.3fx", m / e);
+        t.row({std::to_string(workers), fmtDouble(m, 1),
+               fmtDouble(e, 1), fmtDouble(o, 1), ratio});
+    }
+    emit(t, opts);
+    std::printf("%zu tasks, %.0f ms serial; ratios > 1 mean the "
+                "estimate key finishes the grid sooner\n",
+                tasks.size(), serial_ms);
+    return 0;
+}

@@ -75,6 +75,11 @@ defaultRunConfig()
  *   --cache-dir DIR  on-disk result cache shared across runs and
  *                    processes (default: the TD_CACHE environment
  *                    variable; in-memory memoisation is always on)
+ *   --estimate       serve every cell from the closed-form estimator
+ *                    (Fidelity::Estimate) instead of simulating —
+ *                    triage output, not simulation results; estimate
+ *                    cells cache under their own keys and never
+ *                    touch exact blobs
  *
  * Figures built on one runSweep()/runMany() sweep additionally accept
  * the sharding CLI (see sweepFigure):
@@ -90,6 +95,7 @@ struct Options
     int reps = 1;
     std::string csv;
     std::string cache_dir;
+    bool estimate = false;
     size_t shard_index = 0;
     size_t shard_count = 1;
     std::string shard_out;
@@ -109,7 +115,9 @@ usage(const char *binary, FILE *out = stdout, bool sharding = false)
         "  --csv PATH       also write the figure's table as CSV to "
         "PATH\n"
         "  --cache-dir DIR  on-disk result cache (default: TD_CACHE "
-        "env)\n",
+        "env)\n"
+        "  --estimate       closed-form estimate tier (triage only, "
+        "not simulation results)\n",
         binary);
     if (sharding) {
         std::fprintf(
@@ -167,6 +175,8 @@ parseArgs(int argc, char **argv, bool sharding = false)
             opts.csv = value(i);
         } else if (arg == "--cache-dir") {
             opts.cache_dir = value(i);
+        } else if (arg == "--estimate") {
+            opts.estimate = true;
         } else if (sharding && arg == "--shard") {
             const char *text = value(i);
             unsigned long idx = 0, cnt = 0;
@@ -220,6 +230,8 @@ defaultRunConfig(const Options &opts)
     RunConfig cfg = defaultRunConfig();
     cfg.threads = opts.threads;
     cfg.cache_dir = opts.cache_dir;
+    if (opts.estimate)
+        cfg.fidelity = Fidelity::Estimate;
     return cfg;
 }
 
@@ -274,12 +286,19 @@ runFigure(const Options &opts, BuildFn &&build)
     }
 }
 
-/** Report the sweep's cache effectiveness (CI greps this line). */
+/** Report the sweep's cache effectiveness plus the process-wide
+ * store's hit/miss/insert split (CI greps this line; `simulated=`
+ * stays the final field so `simulated=0$` anchors). */
 inline void
 reportCache(const SweepResult &sweep)
 {
-    std::printf("[cache] tasks=%zu cells=%zu hits=%zu simulated=%zu\n",
+    const CacheCounters c = ResultStore::shared().counters();
+    std::printf("[cache] tasks=%zu cells=%zu hits=%zu memo=%zu "
+                "disk=%zu misses=%zu inserts=%zu estimated=%zu "
+                "simulated=%zu\n",
                 sweep.taskCount(), sweep.cellCount(), sweep.cache_hits,
+                (size_t)c.memo_hits, (size_t)c.disk_hits,
+                (size_t)c.misses, (size_t)c.inserts, sweep.estimated,
                 sweep.simulated);
 }
 

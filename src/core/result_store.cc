@@ -42,26 +42,33 @@ ResultStore::lookup(const TaskKey &key, OpCellResult *out,
         std::lock_guard<std::mutex> lock(mu_);
         auto it = memo_.find(key.value);
         if (it != memo_.end()) {
+            ++counters_.memo_hits;
             *out = it->second;
             return true;
         }
     }
-    if (dir.empty())
+    auto miss = [this] {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.misses;
         return false;
+    };
+    if (dir.empty())
+        return miss();
 
     std::vector<uint8_t> bytes;
     if (!readFileBytes(entryPath(dir, key), &bytes))
-        return false;
+        return miss();
     ByteReader r(bytes);
     if (r.u32() != kEntryMagic || r.u32() != kResultFormatVersion ||
         r.u64() != key.value)
-        return false;
+        return miss();
     OpCellResult result;
     result.deserialize(r);
     if (!r.atEnd())
-        return false;
+        return miss();
     {
         std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.disk_hits;
         memo_.emplace(key.value, result);
     }
     *out = result;
@@ -74,6 +81,7 @@ ResultStore::insert(const TaskKey &key, const OpCellResult &result,
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.inserts;
         memo_.emplace(key.value, result);
     }
     if (dir.empty())
@@ -96,6 +104,20 @@ ResultStore::memoSize() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return memo_.size();
+}
+
+CacheCounters
+ResultStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+void
+ResultStore::resetCounters()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_ = CacheCounters{};
 }
 
 void
@@ -155,6 +177,41 @@ ResultStore::prune(const std::string &dir,
     stats.scanned = entries.size();
     for (const CacheEntryInfo &e : entries)
         stats.scanned_bytes += e.bytes;
+    uint64_t remaining = stats.scanned_bytes;
+
+    auto evict = [&](const CacheEntryInfo &e) {
+        if (!opts.dry_run) {
+            std::error_code ec;
+            if (!std::filesystem::remove(e.path, ec) || ec) {
+                TD_WARN("cannot evict cache entry '%s'",
+                        e.path.c_str());
+                return false;
+            }
+        }
+        remaining -= e.bytes;
+        stats.evicted += 1;
+        stats.evicted_bytes += e.bytes;
+        return true;
+    };
+
+    // Stale-version pass first: dead bytes regardless of age, so they
+    // must not count against the size bound below, and — unlike the
+    // age/size victims — they can sit anywhere in the mtime order.
+    if (opts.stale_versions) {
+        std::vector<CacheEntryInfo> survivors;
+        survivors.reserve(entries.size());
+        for (const CacheEntryInfo &e : entries) {
+            if (e.valid && e.version != kResultFormatVersion) {
+                if (evict(e))
+                    stats.stale_evicted += 1;
+                else
+                    survivors.push_back(e);
+            } else {
+                survivors.push_back(e);
+            }
+        }
+        entries = std::move(survivors);
+    }
 
     int64_t cutoff = std::numeric_limits<int64_t>::min();
     if (opts.max_age_seconds >= 0) {
@@ -166,23 +223,13 @@ ResultStore::prune(const std::string &dir,
     // bounds: evict while the entry is over-age OR the survivors still
     // exceed the size bound — every later entry is at least as new, so
     // once neither condition holds no further entry can be a victim.
-    uint64_t remaining = stats.scanned_bytes;
     for (const CacheEntryInfo &e : entries) {
         bool over_age = e.mtime < cutoff;
         bool over_size = remaining > opts.max_bytes;
         if (!over_age && !over_size)
             break;
-        if (!opts.dry_run) {
-            std::error_code ec;
-            if (!std::filesystem::remove(e.path, ec) || ec) {
-                TD_WARN("cannot evict cache entry '%s'",
-                        e.path.c_str());
-                continue;
-            }
-        }
-        remaining -= e.bytes;
-        stats.evicted += 1;
-        stats.evicted_bytes += e.bytes;
+        if (!evict(e))
+            continue;
     }
     return stats;
 }

@@ -63,6 +63,9 @@ struct CachePruneStats
     size_t evicted = 0;        ///< entries deleted (oldest mtime first)
     uint64_t evicted_bytes = 0;
 
+    /** Of `evicted`, entries taken by the stale-version pass. */
+    size_t stale_evicted = 0;
+
     uint64_t remainingBytes() const { return scanned_bytes - evicted_bytes; }
 };
 
@@ -80,12 +83,36 @@ struct CachePruneOptions
      * bound). */
     int64_t max_age_seconds = -1;
 
+    /**
+     * Evict every entry written under a format version other than
+     * kResultFormatVersion, regardless of age or size.  Such entries
+     * are never read again (lookup rejects their header), so this
+     * reclaims dead bytes a version bump orphaned; it runs before the
+     * age/size passes.  Unreadable (corrupt) entries are left alone —
+     * they may not be result blobs at all.
+     */
+    bool stale_versions = false;
+
     /** Report what would be evicted without deleting anything. */
     bool dry_run = false;
 
     /** "Now" for the age cutoff, seconds since the epoch (0 = the
      * wall clock; tests pin it for determinism). */
     int64_t now = 0;
+};
+
+/**
+ * Monotonic effectiveness counters of one ResultStore: where lookups
+ * were served from and how many results were inserted.  Benches print
+ * them next to a sweep's own hit/simulated split to show whether a
+ * run was fed by the memo, the disk layer, or fresh simulation.
+ */
+struct CacheCounters
+{
+    uint64_t memo_hits = 0; ///< lookups served from the in-memory memo
+    uint64_t disk_hits = 0; ///< lookups served from a disk entry
+    uint64_t misses = 0;    ///< lookups that found nothing
+    uint64_t inserts = 0;   ///< results memoised after simulation
 };
 
 /** Process-wide memo + optional on-disk cache of OpCellResults. */
@@ -117,6 +144,12 @@ class ResultStore
 
     /** Entries currently memoised in memory. */
     size_t memoSize() const;
+
+    /** Snapshot of the store's lifetime hit/miss/insert counters. */
+    CacheCounters counters() const;
+
+    /** Zero the counters (benches isolating one phase's traffic). */
+    void resetCounters();
 
     /** Drop the in-memory memo (tests; disk entries are untouched). */
     void clearMemo();
@@ -158,6 +191,7 @@ class ResultStore
   private:
     mutable std::mutex mu_;
     std::unordered_map<uint64_t, OpCellResult> memo_;
+    CacheCounters counters_;
 };
 
 } // namespace tensordash

@@ -9,6 +9,7 @@
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
 #include "core/result_store.hh"
+#include "sim/estimator.hh"
 
 namespace tensordash {
 
@@ -16,6 +17,15 @@ namespace {
 
 /** Sweep-file header magic ("TDSW" little-endian). */
 constexpr uint32_t kSweepMagic = 0x57534454;
+
+/**
+ * Key salt of Fidelity::Estimate cells ("est1" little-endian).  Mixed
+ * into every estimate-tier TaskKey next to kEstimatorVersion, so
+ * estimates are content addressed in their own namespace: they can
+ * never shadow an exact result, and recalibrating the estimator
+ * invalidates cached estimates alone.
+ */
+constexpr uint64_t kEstimateKeySalt = 0x31747365;
 
 /**
  * Upper bound on a sweep's expanded config variants: far above any
@@ -82,9 +92,28 @@ struct SimTask
      * not a multiple of the slot). */
     size_t first_cell;
 
-    /** Estimated dense MACs (claim-order sort key). */
-    uint64_t est_macs;
+    /** Estimated cost of simulating this task under its variant's
+     * effective config (claim-order sort key): the closed-form
+     * estimator's per-op simulation cost plus the layer's synthesis
+     * volume.  Unlike raw dense MACs, this sees the sampling cap, the
+     * per-job gather/schedule volume and the sparse front end's
+     * expected cycle reduction, so a sampling-capped variant of a
+     * huge layer no longer outranks genuinely costlier cells. */
+    double est_cost;
 };
+
+/** Synthesis volume of one layer's tensors (elements of acts +
+ * weights + grads) — the work a task pays once if any cell misses. */
+double
+synthesisCost(const LayerSpec &layer, int batch)
+{
+    double hw = (double)layer.in_hw * (double)layer.in_hw;
+    double ohw = (double)layer.outHw() * (double)layer.outHw();
+    return (double)batch * (double)layer.in_c * hw +
+           (double)layer.out_c * (double)layer.in_c *
+               (double)layer.kernel * (double)layer.kernel +
+           (double)batch * (double)layer.out_c * ohw;
+}
 
 /** Synthesise one layer's tensors from a private copy of its stream. */
 LayerTensors
@@ -161,6 +190,41 @@ simulateTaskOps(const GridLayout &grid, const SweepUnit &unit,
 }
 
 /**
+ * Estimate the missing op cells of one layer: the Fidelity::Estimate
+ * twin of simulateTaskOps.  Pure closed form — no tensors are
+ * synthesised and no MAC is scheduled; the expected synthesis targets
+ * (effectiveCellSparsity) stand in for measured sparsities, including
+ * the write-back estimate the exact path measures.  Like its twin it
+ * depends only on the variant's config and the unit, so estimate
+ * cells memoise per TaskKey exactly the same way.
+ */
+void
+estimateTaskOps(const GridLayout &grid, const SweepUnit &unit,
+                const SimTask &task, std::span<const TrainOp> ops,
+                uint32_t missing, LayerResult *out)
+{
+    const ModelProfile &model = *unit.model;
+    AcceleratorConfig accel_cfg = unit.config->accel;
+    accel_cfg.wg_side = model.wg_side;
+    OpEstimator est(accel_cfg);
+    CellSparsity sp =
+        effectiveCellSparsity(model, task.layer, unit.progress);
+    double out_sparsity[3] = {0.0, 0.0, 0.0};
+    if (grid.estimate_out_sparsity) {
+        out_sparsity[(int)TrainOp::Forward] = sp.act;
+        out_sparsity[(int)TrainOp::BackwardData] = sp.grad;
+    }
+    const LayerSpec &layer = model.layers[task.layer];
+    for (size_t j = 0; j < ops.size(); ++j) {
+        if (!(missing & (1u << j)))
+            continue;
+        OpEstimate e = est.estimateOp(layer, model.batch, ops[j], sp,
+                                      out_sparsity[(int)ops[j]]);
+        out->cells[j] = OpCellResult{e.op, e.energy_base, e.energy_td};
+    }
+}
+
+/**
  * Content hash of one task grid: format version, variant labels,
  * model names/layer counts, progress points, and every cell's TaskKey
  * in serial (variant, model, progress, layer) order.  Shards merge
@@ -223,6 +287,13 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
               "RunConfig::threads must be >= 0 (0 = the shared pool "
               "default), got %d", exec.threads);
     shard.validate();
+    for (const RunConfig &config : grid.variant_configs)
+        TD_ASSERT(config.fidelity == Fidelity::Exact ||
+                      grid.synthesize == nullptr,
+                  "Fidelity::Estimate models the zoo's synthesis "
+                  "statistically and cannot honour a custom "
+                  "synthesize hook; run this sweep at "
+                  "Fidelity::Exact");
 
     SweepResult sweep;
     sweep.progress_points.assign(grid.points.begin(),
@@ -265,11 +336,24 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
         }
     }
 
+    // Materialise effective models where a variant overrides the
+    // batch: synthesis, claim costs and simulation must all see the
+    // effective batch (TaskKey derives it from the config on its
+    // own).  Storage is reserved exactly, so the units' model
+    // pointers stay valid as it fills.
+    size_t overridden = 0;
+    for (const RunConfig &config : grid.variant_configs)
+        if (config.batch_override > 0)
+            for (const ModelProfile &model : grid.models)
+                overridden += config.batch_override != model.batch;
+    std::vector<ModelProfile> batch_models;
+    batch_models.reserve(overridden);
+
     // Lay out the (variant x model x progress x layer) task grid and
     // fingerprint every (layer, op) cell under its variant's effective
-    // config and phase.  Keys are computed serially up front: they are
-    // cheap relative to simulation and the sweep fingerprint needs
-    // them all.
+    // config and phase.  Keys and claim costs are computed serially up
+    // front: they are cheap relative to simulation and the sweep
+    // fingerprint needs every key.
     std::vector<SweepUnit> units;
     std::vector<SimTask> tasks;
     std::vector<TaskKey> keys;
@@ -277,23 +361,37 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
         const RunConfig &config = grid.variant_configs[v];
         std::span<const TrainOp> ops = phaseOps(config.phase);
         for (size_t m = 0; m < grid.models.size(); ++m) {
-            const ModelProfile &model = grid.models[m];
+            const ModelProfile *model = &grid.models[m];
+            if (config.batch_override > 0 &&
+                config.batch_override != model->batch) {
+                batch_models.push_back(*model);
+                batch_models.back().batch = config.batch_override;
+                model = &batch_models.back();
+            }
+            AcceleratorConfig accel_cfg = config.accel;
+            accel_cfg.wg_side = model->wg_side;
             for (double progress : sweep.progress_points) {
                 SweepUnit unit;
-                unit.model = &model;
+                unit.model = model;
                 unit.config = &config;
                 unit.progress = progress;
                 unit.first_task = tasks.size();
                 unit.layer_rngs =
                     &grid_rngs[v * grid.models.size() + m];
-                for (size_t l = 0; l < model.layers.size(); ++l) {
-                    uint64_t macs = model.layers[l].macsPerSample() *
-                                    (uint64_t)model.batch;
+                for (size_t l = 0; l < model->layers.size(); ++l) {
+                    CellSparsity sp =
+                        effectiveCellSparsity(*model, l, progress);
+                    double cost =
+                        synthesisCost(model->layers[l], model->batch);
+                    for (TrainOp op : ops)
+                        cost += OpEstimator::estimateSimCost(
+                            accel_cfg, model->layers[l],
+                            model->batch, op, sp);
                     tasks.push_back({units.size(), l, tasks.size(),
-                                     keys.size(), macs});
+                                     keys.size(), cost});
                     for (TrainOp op : ops)
                         keys.push_back(TaskKey::forOp(
-                            config, model, l, op, progress,
+                            config, grid.models[m], l, op, progress,
                             grid.synthesis_salt,
                             grid.estimate_out_sparsity));
                 }
@@ -322,7 +420,7 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
             owned.push_back(task);
     std::stable_sort(owned.begin(), owned.end(),
                      [](const SimTask &a, const SimTask &b) {
-                         return a.est_macs > b.est_macs;
+                         return a.est_cost > b.est_cost;
                      });
 
     ResultStore *store = exec.cache ? &ResultStore::shared() : nullptr;
@@ -336,6 +434,7 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     // fully warm layer never materialises its tensors at all.
     std::atomic<size_t> cache_hits{0};
     std::atomic<size_t> simulated{0};
+    std::atomic<size_t> estimated{0};
     ThreadPool &pool = ThreadPool::shared();
     pool.parallelFor(
         owned.size(),
@@ -357,11 +456,20 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
                     missing |= 1u << j;
             }
             if (missing) {
-                simulateTaskOps(grid, unit, task, ops, missing, &out);
+                const bool estimate =
+                    unit.config->fidelity == Fidelity::Estimate;
+                if (estimate)
+                    estimateTaskOps(grid, unit, task, ops, missing,
+                                    &out);
+                else
+                    simulateTaskOps(grid, unit, task, ops, missing,
+                                    &out);
+                std::atomic<size_t> &produced =
+                    estimate ? estimated : simulated;
                 for (size_t j = 0; j < ops.size(); ++j) {
                     if (!(missing & (1u << j)))
                         continue;
-                    simulated.fetch_add(1, std::memory_order_relaxed);
+                    produced.fetch_add(1, std::memory_order_relaxed);
                     if (store)
                         store->insert(keys[task.first_cell + j],
                                       out.cells[j], cache_dir);
@@ -373,6 +481,7 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
         exec.threads);
     sweep.cache_hits = cache_hits.load();
     sweep.simulated = simulated.load();
+    sweep.estimated = estimated.load();
 
     // Reduce: merge in serial (layer, op) order, making the aggregates
     // bit-identical to a single-threaded, uncached, unsharded run.  A
@@ -408,7 +517,11 @@ TaskKey::forOp(const RunConfig &config, const ModelProfile &model,
     // hashed: it only selects which cells a sweep runs, so a Forward
     // cell is one and the same under training and inference.
     h.u64((uint64_t)op);
-    h.i64(model.batch);
+    // The *effective* batch: a run-level override replaces every
+    // model's calibrated batch, and cells at different batches are
+    // different simulations.
+    h.i64(config.batch_override > 0 ? config.batch_override
+                                    : model.batch);
     model.sparsity.hashInto(h);
     model.layers[layer].hashInto(h);
     // The sweep's synthesis contract: which generator produced the
@@ -421,6 +534,14 @@ TaskKey::forOp(const RunConfig &config, const ModelProfile &model,
     if (synthesis_salt != 0)
         h.str(model.name);
     h.b(estimate_out_sparsity);
+    // Estimate-tier cells live in their own key namespace: the salt
+    // keeps an estimate from ever shadowing an exact result, and the
+    // estimator version invalidates cached estimates (alone) whenever
+    // the closed-form model is recalibrated.
+    if (config.fidelity == Fidelity::Estimate) {
+        h.u64(kEstimateKeySalt);
+        h.u64(kEstimatorVersion);
+    }
     return TaskKey{h.value()};
 }
 
@@ -479,6 +600,17 @@ axis(std::string label, std::vector<AxisOption> options)
         a.apply.push_back(std::move(o.second));
     }
     return a;
+}
+
+SweepAxis
+batchAxis(std::vector<int> batches)
+{
+    TD_ASSERT(!batches.empty(), "batchAxis needs at least one size");
+    for (int b : batches)
+        TD_ASSERT(b >= 1,
+                  "batchAxis needs positive batch sizes, got %d", b);
+    return axis("batch", batches,
+                [](RunConfig &c, int b) { c.batch_override = b; });
 }
 
 SweepAxis
@@ -703,6 +835,7 @@ SweepResult::merge(const SweepResult &other)
     }
     cache_hits += other.cache_hits;
     simulated += other.simulated;
+    estimated += other.estimated;
     if (complete()) {
         shard = Shard{};
         reduce();
@@ -735,6 +868,7 @@ SweepResult::serialize() const
     w.u32((uint32_t)shard.count);
     w.u64(cache_hits);
     w.u64(simulated);
+    w.u64(estimated);
     w.u32((uint32_t)taskCount());
     for (size_t i = 0; i < taskCount(); ++i) {
         w.b(present[i] != 0);
@@ -775,6 +909,7 @@ SweepResult::deserialize(const std::vector<uint8_t> &bytes,
     s.shard.count = r.u32();
     s.cache_hits = r.u64();
     s.simulated = r.u64();
+    s.estimated = r.u64();
     uint32_t ntasks = r.u32();
     if (!r.ok())
         return false;
@@ -887,6 +1022,41 @@ ModelRunner::sweepFingerprint(const SweepSpec &spec) const
 {
     MaterializedSweep mat(spec, config_);
     return gridFingerprint(mat.layout(spec));
+}
+
+SweepResult
+ModelRunner::refine(const SweepSpec &spec,
+                    const SweepResult &estimates, double lo,
+                    double hi) const
+{
+    TD_ASSERT(lo <= hi, "refine band [%g, %g] is empty", lo, hi);
+    TD_ASSERT(estimates.complete(),
+              "refine needs a complete estimate sweep (%zu of %zu "
+              "cells present); merge its shards first",
+              estimates.presentCount(), estimates.taskCount());
+    TD_ASSERT(estimates.modelCount() == spec.models.size(),
+              "estimate sweep covers %zu models but the spec names "
+              "%zu: refine wants the Estimate-tier run of this very "
+              "spec", estimates.modelCount(), spec.models.size());
+    SweepSpec sub = spec;
+    sub.models.clear();
+    for (size_t m = 0; m < spec.models.size(); ++m) {
+        bool in_band = false;
+        for (size_t v = 0;
+             !in_band && v < estimates.variantCount(); ++v)
+            for (size_t p = 0;
+                 !in_band && p < estimates.pointCount(); ++p) {
+                double s = estimates.at(m, p, v).speedup();
+                in_band = s >= lo && s <= hi;
+            }
+        if (in_band)
+            sub.models.push_back(spec.models[m]);
+    }
+    if (sub.models.empty())
+        return SweepResult{};
+    RunConfig exact = config_;
+    exact.fidelity = Fidelity::Exact;
+    return ModelRunner(exact).runSweep(sub);
 }
 
 SweepResult

@@ -16,9 +16,11 @@
  * Execution is task-based: every layer becomes one stateless
  * simulation task (synthesize -> lower -> simulate the phase's op
  * set -> reduce) on the shared ThreadPool, each with its own
- * Accelerator instance.  Tasks are claimed costliest-first (estimated
- * dense MACs) so skewed layer costs cannot leave the pool tailing on
- * one straggler.
+ * Accelerator instance.  Tasks are claimed costliest-first — ranked by
+ * the closed-form OpEstimator's predicted simulation cost, which sees
+ * the variant's geometry (sampling caps, gather/schedule volume, the
+ * sparse front end) rather than raw dense MACs — so skewed layer costs
+ * cannot leave the pool tailing on one straggler.
  * Per-layer Rng streams are forked serially up front and results are
  * merged in serial (layer, op) order, so a run is bit-identical at any
  * thread count.  With power gating enabled, each task observes its
@@ -90,8 +92,34 @@ namespace tensordash {
  * per layer — TaskKey::forOp replaced forLayer, cache blobs hold one
  * OpCellResult, LayerResult became a phase-sized op set, and sweep
  * headers tag every variant's WorkloadPhase.
+ *
+ * v4: RunConfig gained the fidelity tier and the batch override (both
+ * folded into TaskKey — estimate-tier cells salt their keys so they
+ * can never shadow exact results), and serialized sweeps carry the
+ * estimated-cell counter next to cache_hits/simulated.
  */
-inline constexpr uint32_t kResultFormatVersion = 3;
+inline constexpr uint32_t kResultFormatVersion = 4;
+
+/**
+ * Result fidelity tier of a run.
+ *
+ * Exact drives the cycle-exact simulator (synthesize -> lower ->
+ * schedule every MAC); Estimate swaps each cell's simulation for the
+ * closed-form OpEstimator (see sim/estimator.hh) — no tensors, no
+ * scheduling, typically orders of magnitude faster.  Estimates are
+ * for *triage* (ranking design points, fencing the interesting band
+ * for ModelRunner::refine()), never for quoting as simulation
+ * results.
+ *
+ * Estimate-tier cells are content addressed under their own key salt
+ * (plus the estimator's model version), so cached estimates and exact
+ * results live side by side and can never contaminate one another.
+ */
+enum class Fidelity : uint8_t
+{
+    Exact,
+    Estimate,
+};
 
 /** Configuration of one model-level run. */
 struct RunConfig
@@ -118,11 +146,27 @@ struct RunConfig
      */
     WorkloadPhase phase = WorkloadPhase::Training;
 
+    /**
+     * Result fidelity: Exact (the default) simulates cycle-exactly;
+     * Estimate serves every cell from the closed-form estimator.
+     * Sweep it as a config axis to triage a huge grid first and
+     * refine() only the interesting band exactly.
+     */
+    Fidelity fidelity = Fidelity::Exact;
+
     /** Training progress in [0, 1] driving the temporal profile. */
     double progress = 0.5;
 
     /** Seed for tensor synthesis. */
     uint64_t seed = 7;
+
+    /**
+     * When > 0, replaces every model's calibrated batch size — the
+     * serving-regime knob behind batchAxis().  Part of each cell's
+     * TaskKey (cells at different effective batches are different
+     * simulations).  0 keeps each model's own batch.
+     */
+    int batch_override = 0;
 
     /**
      * Maximum simulation parallelism: 1 = fully serial, 0 = the shared
@@ -331,6 +375,17 @@ SweepAxis axis(std::string label, std::vector<AxisOption> options);
  * dir a prior training sweep warms them entirely.
  */
 SweepAxis phaseAxis();
+
+/**
+ * A batch-size axis ("batch" = the given sizes): sweeps every model
+ * at the listed effective batch sizes via RunConfig::batch_override.
+ * The serving-regime companion to phaseAxis() — e.g. batchAxis({1, 4,
+ * 16, 64}) next to phase=inference walks the FC-dominated models
+ * through online-to-bulk serving batches.  Cells at different
+ * effective batches carry different TaskKeys, so widening the axis
+ * re-simulates only its new values.
+ */
+SweepAxis batchAxis(std::vector<int> batches);
 
 /**
  * Declarative description of one experiment sweep: which models, at
@@ -543,6 +598,11 @@ struct SweepResult
     size_t cache_hits = 0;
     size_t simulated = 0;
 
+    /** Op cells served by the closed-form estimator (Estimate-tier
+     * variants only).  An estimate-tier run of any size shows
+     * simulated == 0: it never touches the exact simulator. */
+    size_t estimated = 0;
+
     /** Variant-major grid:
      * results[(v * modelCount() + m) * pointCount() + p].  Populated
      * only when complete(). */
@@ -670,6 +730,21 @@ class ModelRunner
     SweepResult runMany(std::span<const ModelProfile> models,
                         std::span<const double> progress_points = {},
                         Shard shard = {}) const;
+
+    /**
+     * Triage-and-refine: given @p estimates — a completed
+     * Fidelity::Estimate run of @p spec under this runner's config —
+     * re-run *exactly* the models whose estimated TensorDash speedup
+     * falls inside [@p lo, @p hi] at any (progress point, variant).
+     * Models outside the band (clearly uninteresting, or so clearly
+     * winning that an exact number changes nothing) are skipped
+     * entirely; the returned sweep covers the in-band subset of
+     * models under the same axes and points at Fidelity::Exact.
+     * Returns an empty SweepResult when no model lands in the band.
+     */
+    SweepResult refine(const SweepSpec &spec,
+                       const SweepResult &estimates, double lo,
+                       double hi) const;
 
   private:
     RunConfig config_;

@@ -36,6 +36,7 @@
 #include "sim/area_model.hh"
 #include "sim/dataflow.hh"
 #include "sim/energy.hh"
+#include "sim/estimator.hh"
 #include "sim/memory/compressing_dma.hh"
 #include "sim/memory/dram.hh"
 #include "sim/memory/sram.hh"

@@ -1,5 +1,6 @@
 #include "sim/scheduler.hh"
 
+#include <bit>
 #include <functional>
 #include <vector>
 
@@ -10,6 +11,29 @@ namespace tensordash {
 HierarchicalScheduler::HierarchicalScheduler(const MuxPattern &pattern)
     : pattern_(&pattern)
 {
+    // Flatten the level-major lane walk into one contiguous program.
+    // Options keep their per-lane priority order (indices into
+    // pattern.options(lane) survive unchanged), with the target bit
+    // precomputed and the lane's step-reach mask alongside.
+    flat_lanes_.reserve((size_t)pattern.lanes());
+    for (const auto &level : pattern.levels()) {
+        for (int lane : level) {
+            const auto &options = pattern.options(lane);
+            FlatLane fl;
+            fl.lane = lane;
+            fl.first = (int32_t)flat_options_.size();
+            fl.count = (int32_t)options.size();
+            fl.reach = 0;
+            for (const MoveOption &opt : options) {
+                flat_options_.push_back(
+                    {1u << opt.lane, opt.step});
+                fl.reach |= 1u << opt.step;
+            }
+            flat_lanes_.push_back(fl);
+        }
+    }
+    dense_first_ = !pattern.moves().empty() &&
+                   pattern.moves()[0] == RelMove{0, 0};
 }
 
 Schedule
@@ -25,8 +49,7 @@ HierarchicalScheduler::schedule(const uint32_t *pending, int valid) const
     // top-priority option -- its own dense position -- is available, so
     // the whole schedule is the dense schedule.  (Step-0 positions are
     // reachable only by their own lane, so no other assignment exists.)
-    if (valid > 0 && pending[0] == full &&
-        pattern_->moves()[0] == RelMove{0, 0}) {
+    if (valid > 0 && pending[0] == full && dense_first_) {
         for (int lane = 0; lane < lanes; ++lane)
             out.select[lane] = 0;
         out.picks = lanes;
@@ -34,29 +57,39 @@ HierarchicalScheduler::schedule(const uint32_t *pending, int valid) const
     }
 
     // Working copy of Z; selected bits are stripped between levels.
+    // `nonempty` tracks which steps still hold pending bits (for the
+    // one-AND lane skip) and `remaining` how many bits are left at
+    // all; neither shortcut changes any selection — a lane whose
+    // reachable steps are empty, or any lane once Z is exhausted,
+    // could never have picked.  Steps beyond `valid` stay zero in z,
+    // so options reaching past the window fail the z-test naturally.
     std::array<uint32_t, 8> z{};
-    uint32_t any = 0;
+    int remaining = 0;
+    uint32_t nonempty = 0;
     for (int s = 0; s < valid; ++s) {
         z[s] = pending[s];
-        any |= pending[s];
+        remaining += std::popcount(pending[s]);
+        if (pending[s])
+            nonempty |= 1u << s;
     }
-    if (!any)
+    if (!remaining)
         return out;
 
-    for (const auto &level : pattern_->levels()) {
-        for (int lane : level) {
-            const auto &options = pattern_->options(lane);
-            for (int idx = 0; idx < (int)options.size(); ++idx) {
-                const MoveOption &opt = options[idx];
-                if (opt.step >= valid)
-                    continue;
-                uint32_t bit = 1u << opt.lane;
-                if (z[opt.step] & bit) {
-                    z[opt.step] &= ~bit;
-                    out.select[lane] = (int8_t)idx;
-                    ++out.picks;
-                    break;
-                }
+    for (const FlatLane &fl : flat_lanes_) {
+        if (!(fl.reach & nonempty))
+            continue;
+        const FlatOption *options = &flat_options_[(size_t)fl.first];
+        for (int idx = 0; idx < fl.count; ++idx) {
+            const FlatOption &opt = options[idx];
+            if (z[(size_t)opt.step] & opt.bit) {
+                z[(size_t)opt.step] &= ~opt.bit;
+                if (!z[(size_t)opt.step])
+                    nonempty &= ~(1u << opt.step);
+                out.select[fl.lane] = (int8_t)idx;
+                ++out.picks;
+                if (--remaining == 0)
+                    return out;
+                break;
             }
         }
     }

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "sim/mux_pattern.hh"
 #include "sim/staging_buffer.hh"
@@ -40,7 +41,13 @@ struct Schedule
 class HierarchicalScheduler
 {
   public:
-    /** @param pattern interconnect whose options/levels drive selection. */
+    /**
+     * @param pattern interconnect whose options/levels drive selection.
+     * Construction flattens the level-major lane walk into one
+     * contiguous program (precomputed target bits and per-lane
+     * step-reach masks) — schedule() is the simulator's hottest loop,
+     * and one scheduler serves millions of cycles.
+     */
     explicit HierarchicalScheduler(const MuxPattern &pattern);
 
     const MuxPattern &pattern() const { return *pattern_; }
@@ -66,7 +73,30 @@ class HierarchicalScheduler
     int step(StagingWindow &window, Schedule *out = nullptr) const;
 
   private:
+    /** One flattened movement option: the target position as a
+     * precomputed lane bit plus its window step. */
+    struct FlatOption
+    {
+        uint32_t bit;
+        int32_t step;
+    };
+
+    /** One lane's slice of the flattened program, in level-major
+     * order.  `reach` has bit s set when any option reads window step
+     * s: a lane whose reachable steps are all empty is skipped with
+     * one AND instead of walking its options. */
+    struct FlatLane
+    {
+        int32_t lane;
+        int32_t first;
+        int32_t count;
+        uint32_t reach;
+    };
+
     const MuxPattern *pattern_;
+    std::vector<FlatLane> flat_lanes_;
+    std::vector<FlatOption> flat_options_;
+    bool dense_first_ = false; ///< moves()[0] is the dense position
 };
 
 /**

@@ -614,6 +614,98 @@ TEST(ResultStoreTest, PruneDryRunReportsVictimsWithoutDeleting)
     ResultStore::shared().clearMemo();
 }
 
+TEST(ResultStoreTest, PruneStaleVersionsEvictsOnlyOrphanedEntries)
+{
+    const std::string dir = freshCacheDir("td_store_prune_stale");
+    ResultStore::shared().clearMemo();
+    RunConfig cfg = storeConfig(4108);
+    cfg.cache_dir = dir;
+    const std::vector<ModelProfile> models = {tinyModel()};
+    SweepResult cold = ModelRunner(cfg).runMany(models);
+    const size_t live = cold.cellCount();
+
+    // Plant two entries a format bump orphaned (valid header, older
+    // version) and one corrupt file (not a result blob at all).
+    for (const char *name : {"/old_a.tdlr", "/old_b.tdlr"}) {
+        ByteWriter w;
+        w.u32(0x524c4454); // entry magic
+        w.u32(kResultFormatVersion - 1);
+        w.u64(0x1234);
+        w.str("payload from a previous format");
+        ASSERT_TRUE(writeFileBytes(dir + name, w.data()));
+    }
+    ASSERT_TRUE(writeFileBytes(dir + "/junk.tdlr", {'x'}));
+    ASSERT_EQ(ResultStore::listDir(dir).size(), live + 3);
+
+    // Dry run: the two stale entries are the only victims, and
+    // nothing is deleted.
+    CachePruneOptions opts;
+    opts.stale_versions = true;
+    opts.dry_run = true;
+    CachePruneStats stats = ResultStore::prune(dir, opts);
+    EXPECT_EQ(stats.scanned, live + 3);
+    EXPECT_EQ(stats.evicted, 2u);
+    EXPECT_EQ(stats.stale_evicted, 2u);
+    EXPECT_EQ(ResultStore::listDir(dir).size(), live + 3);
+
+    // Real run: stale entries gone; live entries and the corrupt file
+    // (which may not be a result blob at all) are untouched.
+    opts.dry_run = false;
+    stats = ResultStore::prune(dir, opts);
+    EXPECT_EQ(stats.evicted, 2u);
+    EXPECT_EQ(stats.stale_evicted, 2u);
+    std::vector<CacheEntryInfo> after = ResultStore::listDir(dir);
+    ASSERT_EQ(after.size(), live + 1);
+    for (const CacheEntryInfo &e : after)
+        EXPECT_TRUE(!e.valid || e.version == kResultFormatVersion);
+
+    // The surviving live entries still serve a fresh process fully.
+    ResultStore::shared().clearMemo();
+    SweepResult warm = ModelRunner(cfg).runMany(models);
+    EXPECT_EQ(warm.simulated, 0u);
+    EXPECT_EQ(contentBytes(cold), contentBytes(warm));
+    ResultStore::shared().clearMemo();
+}
+
+TEST(ResultStoreTest, CountersTrackMemoDiskAndMissTraffic)
+{
+    const std::string dir = freshCacheDir("td_store_counters");
+    ResultStore::shared().clearMemo();
+    ResultStore::shared().resetCounters();
+    RunConfig cfg = storeConfig(4109);
+    cfg.cache_dir = dir;
+    const std::vector<ModelProfile> models = {tinyModel()};
+
+    // Cold run: every lookup misses, every result is inserted.
+    SweepResult cold = ModelRunner(cfg).runMany(models);
+    CacheCounters c = ResultStore::shared().counters();
+    EXPECT_EQ(c.memo_hits, 0u);
+    EXPECT_EQ(c.disk_hits, 0u);
+    EXPECT_EQ(c.misses, cold.cellCount());
+    EXPECT_EQ(c.inserts, cold.cellCount());
+
+    // Warm memo run: pure memo hits, nothing new inserted.
+    ResultStore::shared().resetCounters();
+    ModelRunner(cfg).runMany(models);
+    c = ResultStore::shared().counters();
+    EXPECT_EQ(c.memo_hits, cold.cellCount());
+    EXPECT_EQ(c.disk_hits, 0u);
+    EXPECT_EQ(c.misses, 0u);
+    EXPECT_EQ(c.inserts, 0u);
+
+    // Fresh process (cleared memo) sharing the dir: pure disk hits.
+    ResultStore::shared().clearMemo();
+    ResultStore::shared().resetCounters();
+    ModelRunner(cfg).runMany(models);
+    c = ResultStore::shared().counters();
+    EXPECT_EQ(c.memo_hits, 0u);
+    EXPECT_EQ(c.disk_hits, cold.cellCount());
+    EXPECT_EQ(c.misses, 0u);
+    EXPECT_EQ(c.inserts, 0u);
+    ResultStore::shared().clearMemo();
+    ResultStore::shared().resetCounters();
+}
+
 TEST(ShardedSweep, NWayMergeIsBitIdenticalUnderBothMemoryModels)
 {
     const std::vector<ModelProfile> models = {tinyModel(),

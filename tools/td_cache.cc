@@ -8,19 +8,25 @@
  *
  *   td-cache ls DIR                     list entries (key, version,
  *                                       size, mtime), oldest first
- *   td-cache prune [--max-bytes N] [--max-age DUR] [--dry-run] DIR
- *                                       evict entries older than DUR
- *                                       (s/m/h/d suffixes), then
- *                                       oldest-mtime entries until the
- *                                       directory holds at most N
- *                                       bytes; --dry-run reports the
- *                                       victims without deleting
+ *   td-cache stats DIR                  per-state entry/byte totals
+ *                                       (ok / stale / corrupt)
+ *   td-cache prune [--max-bytes N] [--max-age DUR] [--stale-versions]
+ *                  [--dry-run] DIR
+ *                                       evict stale-version entries
+ *                                       (if requested), then entries
+ *                                       older than DUR (s/m/h/d
+ *                                       suffixes), then oldest-mtime
+ *                                       entries until the directory
+ *                                       holds at most N bytes;
+ *                                       --dry-run reports the victims
+ *                                       without deleting
  *
  * Eviction is always safe: entries are content addressed, so a pruned
  * result simply re-simulates (and re-caches) on next use.  Entries
- * written under an older kResultFormatVersion are never read again —
- * ls marks them "stale" so prune targets are easy to spot (an
- * occasional `prune --max-age 30d` keeps them from accumulating).
+ * written under another kResultFormatVersion are never read again — ls
+ * marks them "stale", stats totals their dead bytes, and `prune
+ * --stale-versions` reclaims exactly those without touching live
+ * entries.
  */
 
 #include <cerrno>
@@ -43,11 +49,16 @@ usage(FILE *out)
     std::fprintf(
         out,
         "usage: td-cache ls DIR\n"
+        "       td-cache stats DIR\n"
         "       td-cache prune [--max-bytes N] [--max-age DUR] "
-        "[--dry-run] DIR\n"
+        "[--stale-versions] [--dry-run] DIR\n"
         "  ls     list cache entries (key, version, size, mtime),\n"
         "         oldest first\n"
-        "  prune  delete entries older than DUR (suffix s, m, h or d;\n"
+        "  stats  per-state totals: ok (current format), stale\n"
+        "         (written under another format version, never read\n"
+        "         again) and corrupt entries with their byte counts\n"
+        "  prune  delete stale-version entries (--stale-versions),\n"
+        "         then entries older than DUR (suffix s, m, h or d;\n"
         "         plain = seconds), then oldest-mtime entries until\n"
         "         DIR totals at most N bytes (0 empties it); at least\n"
         "         one bound is required.  --dry-run reports what would\n"
@@ -100,15 +111,43 @@ runLs(const std::string &dir)
 }
 
 int
+runStats(const std::string &dir)
+{
+    std::vector<CacheEntryInfo> entries = ResultStore::listDir(dir);
+    size_t counts[3] = {0, 0, 0};
+    uint64_t bytes[3] = {0, 0, 0};
+    const char *states[3] = {"ok", "stale", "corrupt"};
+    for (const CacheEntryInfo &e : entries) {
+        int s = !e.valid ? 2
+            : e.version == kResultFormatVersion ? 0 : 1;
+        counts[s] += 1;
+        bytes[s] += e.bytes;
+    }
+    Table t;
+    t.header({"state", "entries", "bytes"});
+    for (int s = 0; s < 3; ++s)
+        t.row({states[s], std::to_string(counts[s]),
+               std::to_string(bytes[s])});
+    t.print();
+    std::printf("%zu entr%s, %" PRIu64 " bytes in %s "
+                "(format version %u)\n",
+                entries.size(), entries.size() == 1 ? "y" : "ies",
+                bytes[0] + bytes[1] + bytes[2], dir.c_str(),
+                kResultFormatVersion);
+    return 0;
+}
+
+int
 runPrune(const std::string &dir, const CachePruneOptions &opts)
 {
     CachePruneStats stats = ResultStore::prune(dir, opts);
     std::printf("scanned %zu entries (%" PRIu64 " bytes), %s %zu "
-                "(%" PRIu64 " bytes), %" PRIu64 " bytes %s in %s\n",
+                "(%" PRIu64 " bytes, %zu stale-version), %" PRIu64
+                " bytes %s in %s\n",
                 stats.scanned, stats.scanned_bytes,
                 opts.dry_run ? "would evict" : "evicted",
                 stats.evicted, stats.evicted_bytes,
-                stats.remainingBytes(),
+                stats.stale_evicted, stats.remainingBytes(),
                 opts.dry_run ? "would remain" : "remain", dir.c_str());
     return 0;
 }
@@ -172,6 +211,11 @@ main(int argc, char **argv)
             return usage(stderr);
         return runLs(argv[2]);
     }
+    if (cmd == "stats") {
+        if (argc != 3)
+            return usage(stderr);
+        return runStats(argv[2]);
+    }
     if (cmd == "prune") {
         CachePruneOptions opts;
         std::string dir;
@@ -197,6 +241,9 @@ main(int argc, char **argv)
                                  "900, 15m, 6h or 30d)\n");
                     return 1;
                 }
+                have_bound = true;
+            } else if (arg == "--stale-versions") {
+                opts.stale_versions = true;
                 have_bound = true;
             } else if (arg == "--dry-run") {
                 opts.dry_run = true;
