@@ -272,8 +272,12 @@ runFigure(const Options &opts, BuildFn &&build)
     int threads =
         opts.threads > 0 ? opts.threads : ThreadPool::defaultThreadCount();
     for (int rep = 0; rep < opts.reps; ++rep) {
-        if (opts.reps > 1)
+        if (opts.reps > 1) {
             ResultStore::shared().clearMemo();
+            // Same honesty rule for synthesis: reps 2..N must pay it,
+            // not ride rep 1's cached tensors.
+            SynthCache::shared().clear();
+        }
         auto start = std::chrono::steady_clock::now();
         Table t = build();
         double ms = std::chrono::duration<double, std::milli>(
@@ -288,7 +292,11 @@ runFigure(const Options &opts, BuildFn &&build)
 
 /** Report the sweep's cache effectiveness plus the process-wide
  * store's hit/miss/insert split (CI greps this line; `simulated=`
- * stays the final field so `simulated=0$` anchors). */
+ * stays the final field so `simulated=0$` anchors).  The `[synth]`
+ * line reports the process-wide synthesis cache the same way: a cold
+ * N-variant geometry sweep shows `keys=` at the single-variant cell
+ * count and `reuses=` covering the other N-1 variants (CI anchors on
+ * it; `reuses=` stays the final field). */
 inline void
 reportCache(const SweepResult &sweep)
 {
@@ -300,6 +308,9 @@ reportCache(const SweepResult &sweep)
                 (size_t)c.memo_hits, (size_t)c.disk_hits,
                 (size_t)c.misses, (size_t)c.inserts, sweep.estimated,
                 sweep.simulated);
+    const SynthCounters s = SynthCache::shared().counters();
+    std::printf("[synth] keys=%zu reuses=%zu\n", (size_t)s.keys,
+                (size_t)s.reuses);
 }
 
 /**

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
 #include "core/result_store.hh"
+#include "core/synth_cache.hh"
 #include "sim/estimator.hh"
 
 namespace tensordash {
@@ -92,13 +94,22 @@ struct SimTask
      * not a multiple of the slot). */
     size_t first_cell;
 
+    /** Content id of this layer's synthesized tensors (SynthKey) —
+     * geometry variants of one (model, progress, layer) cell share it,
+     * which is what lets them share one synthesis. */
+    uint64_t synth_key;
+
     /** Estimated cost of simulating this task under its variant's
      * effective config (claim-order sort key): the closed-form
      * estimator's per-op simulation cost plus the layer's synthesis
      * volume.  Unlike raw dense MACs, this sees the sampling cap, the
      * per-job gather/schedule volume and the sparse front end's
      * expected cycle reduction, so a sampling-capped variant of a
-     * huge layer no longer outranks genuinely costlier cells. */
+     * huge layer no longer outranks genuinely costlier cells.  With
+     * the synthesis cache on, synthesis volume is charged only to the
+     * first task of each SynthKey — its siblings reuse the tensors —
+     * which both keeps costliest-first ordering honest and sorts the
+     * synthesizing task ahead of its reusers. */
     double est_cost;
 };
 
@@ -140,28 +151,56 @@ synthesizeLayer(const SweepUnit &unit, size_t layer)
  * this depends on *which* cells missed: a cell simulated to fill an
  * inference sweep's gap is bit-identical to the one a full training
  * run produces.
+ *
+ * Tensors come from the process-wide SynthCache when @p synth_cache
+ * is set: the first task of each SynthKey synthesizes (under the
+ * key's own latch), every geometry sibling reuses the ready tensors
+ * and their pre-measured sparsities.  With the cache disabled the
+ * task synthesizes privately but still measures each sparsity exactly
+ * once — the gating observation and the write-back estimate share the
+ * scan.
  */
 void
 simulateTaskOps(const GridLayout &grid, const SweepUnit &unit,
                 const SimTask &task, std::span<const TrainOp> ops,
-                uint32_t missing, LayerResult *out)
+                uint32_t missing, SynthCache *synth_cache,
+                LayerResult *out)
 {
     const RunConfig &config = *unit.config;
     AcceleratorConfig accel_cfg = config.accel;
     accel_cfg.wg_side = unit.model->wg_side;
     Accelerator accel(accel_cfg);
 
-    LayerTensors t = grid.synthesize
-        ? (*grid.synthesize)(config, *unit.model, task.layer,
-                             unit.progress)
-        : synthesizeLayer(unit, task.layer);
+    auto synth = [&] {
+        return grid.synthesize
+            ? (*grid.synthesize)(config, *unit.model, task.layer,
+                                 unit.progress)
+            : synthesizeLayer(unit, task.layer);
+    };
+    std::shared_ptr<const SynthTensors> cached;
+    SynthTensors local;
+    const SynthTensors *st;
+    if (synth_cache) {
+        cached = synth_cache->acquire(SynthKey{task.synth_key}, synth);
+        st = cached.get();
+    } else {
+        local.tensors = synth();
+        // One scan per tensor, shared by the gating observation and
+        // the write-back estimate below (weights only gate).
+        local.act_sparsity = local.tensors.acts.sparsity();
+        local.grad_sparsity = local.tensors.grads.sparsity();
+        if (config.accel.power_gating)
+            local.weight_sparsity = local.tensors.weights.sparsity();
+        st = &local;
+    }
+    const LayerTensors &t = st->tensors;
     if (config.accel.power_gating) {
         // Observe -> freeze: decisions are immutable before any op of
         // this layer simulates.
         GateObservations obs;
-        obs.sparsity["acts"] = t.acts.sparsity();
-        obs.sparsity["grads"] = t.grads.sparsity();
-        obs.sparsity["weights"] = t.weights.sparsity();
+        obs.sparsity["acts"] = st->act_sparsity;
+        obs.sparsity["grads"] = st->grad_sparsity;
+        obs.sparsity["weights"] = st->weight_sparsity;
         accel.powerGate().freezeFrom(obs);
     }
     // Output write-back sparsity estimates, indexed by TrainOp: O
@@ -170,8 +209,8 @@ simulateTaskOps(const GridLayout &grid, const SweepUnit &unit,
     // back dense instead.
     double out_sparsity[3] = {0.0, 0.0, 0.0};
     if (grid.estimate_out_sparsity) {
-        out_sparsity[(int)TrainOp::Forward] = t.acts.sparsity();
-        out_sparsity[(int)TrainOp::BackwardData] = t.grads.sparsity();
+        out_sparsity[(int)TrainOp::Forward] = st->act_sparsity;
+        out_sparsity[(int)TrainOp::BackwardData] = st->grad_sparsity;
     }
     const LayerSpec &layer = unit.model->layers[task.layer];
     for (size_t j = 0; j < ops.size(); ++j) {
@@ -349,6 +388,15 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     std::vector<ModelProfile> batch_models;
     batch_models.reserve(overridden);
 
+    // Synthesis cache: resolved once per run from the execution
+    // config (0 disables; every task then synthesizes in place).
+    const uint64_t synth_budget =
+        SynthCache::resolveBudget(exec.synth_cache_bytes);
+    SynthCache *synth_cache =
+        synth_budget > 0 ? &SynthCache::shared() : nullptr;
+    if (synth_cache)
+        synth_cache->setBudgetBytes(synth_budget);
+
     // Lay out the (variant x model x progress x layer) task grid and
     // fingerprint every (layer, op) cell under its variant's effective
     // config and phase.  Keys and claim costs are computed serially up
@@ -357,9 +405,14 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     std::vector<SweepUnit> units;
     std::vector<SimTask> tasks;
     std::vector<TaskKey> keys;
+    // SynthKeys whose synthesis cost has been charged to a task:
+    // geometry variants share keys, and only the first task of a key
+    // actually synthesizes when the cache is on.
+    std::unordered_set<uint64_t> charged_synth;
     for (size_t v = 0; v < grid.variant_configs.size(); ++v) {
         const RunConfig &config = grid.variant_configs[v];
         std::span<const TrainOp> ops = phaseOps(config.phase);
+        const bool estimate = config.fidelity == Fidelity::Estimate;
         for (size_t m = 0; m < grid.models.size(); ++m) {
             const ModelProfile *model = &grid.models[m];
             if (config.batch_override > 0 &&
@@ -381,14 +434,27 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
                 for (size_t l = 0; l < model->layers.size(); ++l) {
                     CellSparsity sp =
                         effectiveCellSparsity(*model, l, progress);
-                    double cost =
-                        synthesisCost(model->layers[l], model->batch);
+                    uint64_t skey =
+                        SynthKey::forCell(config, grid.models[m], l,
+                                          progress,
+                                          grid.synthesis_salt)
+                            .value;
+                    // Estimate-tier tasks never synthesize; exact
+                    // tasks pay synthesis once per key when the cache
+                    // is on (every reuser rides the first task's
+                    // tensors), or always when it is off.
+                    double cost = 0.0;
+                    if (!estimate &&
+                        (!synth_cache ||
+                         charged_synth.insert(skey).second))
+                        cost = synthesisCost(model->layers[l],
+                                             model->batch);
                     for (TrainOp op : ops)
                         cost += OpEstimator::estimateSimCost(
                             accel_cfg, model->layers[l],
                             model->batch, op, sp);
                     tasks.push_back({units.size(), l, tasks.size(),
-                                     keys.size(), cost});
+                                     keys.size(), skey, cost});
                     for (TrainOp op : ops)
                         keys.push_back(TaskKey::forOp(
                             config, grid.models[m], l, op, progress,
@@ -463,7 +529,7 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
                                     &out);
                 else
                     simulateTaskOps(grid, unit, task, ops, missing,
-                                    &out);
+                                    synth_cache, &out);
                 std::atomic<size_t> &produced =
                     estimate ? estimated : simulated;
                 for (size_t j = 0; j < ops.size(); ++j) {

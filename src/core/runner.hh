@@ -51,7 +51,11 @@
  *    simulating, so repeated sweeps sharing cells (fig13 vs fig15 run
  *    the identical grid; a widened axis re-simulates only its new
  *    values) skip re-simulation entirely, in-process and — with a
- *    cache dir — across processes.
+ *    cache dir — across processes.  Synthesis is content addressed
+ *    the same way one level down (core/synth_cache.hh): a SynthKey
+ *    covers only the synthesis-affecting inputs, so the N variants of
+ *    a geometry axis synthesize each (model, progress, layer) cell
+ *    once and share the tensors.
  *  - Sharding: runSweep()/runMany() accept a Shard{index, count} that
  *    deterministically partitions the task grid.  A partial
  *    SweepResult serializes to bytes, travels between
@@ -191,6 +195,18 @@ struct RunConfig
      * when cache is false.
      */
     std::string cache_dir;
+
+    /**
+     * Resident-byte budget of the process-wide synthesis cache (see
+     * core/synth_cache.hh), which lets a sweep's N geometry variants
+     * synthesize each (model, progress, layer) cell once: 0 disables
+     * the cache (every task synthesizes in place), positive sets the
+     * LRU budget, negative (the default) resolves TD_SYNTH_CACHE_BYTES
+     * else SynthCache::kDefaultBudgetBytes.  Purely an execution knob
+     * — cached, evicted and disabled runs are bit-identical, so like
+     * threads/cache it is never part of a cell's TaskKey.
+     */
+    int64_t synth_cache_bytes = -1;
 };
 
 /**
@@ -408,8 +424,9 @@ struct SweepSpec
      * Configuration axes, crossed.  Mutators run against a copy of the
      * runner's RunConfig and may change anything that affects what is
      * simulated (accel geometry, DRAM timing, seed, ...); execution
-     * knobs (threads, cache, cache_dir) and the progress points are
-     * taken from the runner/spec and ignored if mutated.
+     * knobs (threads, cache, cache_dir, synth_cache_bytes) and the
+     * progress points are taken from the runner/spec and ignored if
+     * mutated.
      */
     std::vector<SweepAxis> axes;
 
@@ -427,7 +444,12 @@ struct SweepSpec
      * layer's shape and index, and (custom hooks only) the model
      * name, since a hook may seed off it.  A hook must not depend on
      * anything else (descriptions, layer names, sibling layers), or
-     * equal keys could describe different tensors.
+     * equal keys could describe different tensors.  Of its RunConfig
+     * argument a hook may read only the seed and the batch override:
+     * the SynthCache (see core/synth_cache.hh) shares one synthesis
+     * across geometry variants, so a hook that read accelerator
+     * geometry, the memory model, the fidelity tier or the phase
+     * would hand N variants tensors only one of them asked for.
      */
     using SynthesizeFn = std::function<LayerTensors(
         const RunConfig &, const ModelProfile &, size_t, double)>;

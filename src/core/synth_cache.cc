@@ -1,0 +1,218 @@
+#include "core/synth_cache.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "core/runner.hh"
+
+namespace tensordash {
+
+namespace {
+
+/** Key-namespace tag ("syn1" little-endian): a SynthKey can never be
+ * mistaken for a TaskKey built over the same fields. */
+constexpr uint64_t kSynthKeyTag = 0x316e7973;
+
+uint64_t
+tensorsBytes(const LayerTensors &t)
+{
+    return (uint64_t)(t.acts.size() + t.weights.size() +
+                      t.grads.size()) *
+           sizeof(float);
+}
+
+} // namespace
+
+SynthKey
+SynthKey::forCell(const RunConfig &config, const ModelProfile &model,
+                  size_t layer, double progress,
+                  uint64_t synthesis_salt)
+{
+    TD_ASSERT(layer < model.layers.size(),
+              "layer %zu out of range for model '%s' (%zu layers)",
+              layer, model.name.c_str(), model.layers.size());
+    FnvHasher h;
+    h.u64(kSynthKeyTag);
+    h.u64(config.seed);
+    h.f64(progress);
+    // The layer's Rng stream is fork number `layer` of the serially
+    // seeded parent, a function of (seed, layer index) alone.
+    h.u64(layer);
+    // The *effective* batch shapes the acts/grads tensors.
+    h.i64(config.batch_override > 0 ? config.batch_override
+                                    : model.batch);
+    model.sparsity.hashInto(h);
+    model.layers[layer].hashInto(h);
+    // The synthesize-hook contract, exactly as TaskKey fingerprints
+    // it: the salt is the hook's content id, and a custom hook may
+    // legitimately seed off the model's name.
+    h.u64(synthesis_salt);
+    if (synthesis_salt != 0)
+        h.str(model.name);
+    return SynthKey{h.value()};
+}
+
+SynthCache &
+SynthCache::shared()
+{
+    static SynthCache cache;
+    return cache;
+}
+
+std::shared_ptr<const SynthTensors>
+SynthCache::acquire(const SynthKey &key, const SynthFn &synthesize)
+{
+    std::shared_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key.value);
+        if (it != map_.end()) {
+            slot = it->second;
+            lru_.splice(lru_.begin(), lru_, slot->lru_it);
+        } else {
+            slot = std::make_shared<Slot>();
+            lru_.push_front(key.value);
+            slot->lru_it = lru_.begin();
+            map_.emplace(key.value, slot);
+        }
+    }
+
+    // First acquirer synthesizes under the key's own latch; everyone
+    // else (including concurrent acquirers of this very key) waits
+    // here without touching the global lock.  call_once orders the
+    // value write before any waiter returns.
+    bool synthesized = false;
+    std::call_once(slot->once, [&] {
+        auto entry = std::make_shared<SynthTensors>();
+        entry->tensors = synthesize();
+        entry->act_sparsity = entry->tensors.acts.sparsity();
+        entry->weight_sparsity = entry->tensors.weights.sparsity();
+        entry->grad_sparsity = entry->tensors.grads.sparsity();
+        entry->bytes = tensorsBytes(entry->tensors);
+        slot->value = std::move(entry);
+        synthesized = true;
+    });
+
+    std::shared_ptr<const SynthTensors> value = slot->value;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (synthesized) {
+            ++counters_.keys;
+            // Account the new entry unless the slot was evicted while
+            // synthesis was in flight (the caller's pointer keeps the
+            // tensors alive either way).
+            auto it = map_.find(key.value);
+            if (it != map_.end() && it->second == slot) {
+                slot->bytes = value->bytes;
+                resident_ += slot->bytes;
+                evictLocked();
+            }
+        } else {
+            ++counters_.reuses;
+        }
+    }
+    return value;
+}
+
+void
+SynthCache::evictLocked()
+{
+    // Walk from the cold end, skipping in-flight slots (bytes == 0 —
+    // they hold no accounted tensors yet and their synthesizer needs
+    // the map entry to account them).
+    auto it = lru_.end();
+    while (resident_ > budget_ && it != lru_.begin()) {
+        --it;
+        auto mit = map_.find(*it);
+        TD_ASSERT(mit != map_.end(), "LRU entry without a map slot");
+        if (mit->second->bytes == 0)
+            continue;
+        resident_ -= mit->second->bytes;
+        map_.erase(mit);
+        it = lru_.erase(it);
+    }
+}
+
+void
+SynthCache::setBudgetBytes(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_ = bytes;
+    evictLocked();
+}
+
+uint64_t
+SynthCache::budgetBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_;
+}
+
+uint64_t
+SynthCache::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return resident_;
+}
+
+size_t
+SynthCache::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto &kv : map_)
+        n += kv.second->bytes != 0;
+    return n;
+}
+
+SynthCounters
+SynthCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+void
+SynthCache::resetCounters()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_ = SynthCounters{};
+}
+
+void
+SynthCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // Ready entries drop; in-flight slots stay so their synthesizer
+    // still finds (and skips accounting for) a consistent map.
+    auto it = lru_.begin();
+    while (it != lru_.end()) {
+        auto mit = map_.find(*it);
+        TD_ASSERT(mit != map_.end(), "LRU entry without a map slot");
+        if (mit->second->bytes == 0) {
+            ++it;
+            continue;
+        }
+        resident_ -= mit->second->bytes;
+        map_.erase(mit);
+        it = lru_.erase(it);
+    }
+}
+
+uint64_t
+SynthCache::resolveBudget(int64_t configured)
+{
+    if (configured >= 0)
+        return (uint64_t)configured;
+    if (const char *env = std::getenv("TD_SYNTH_CACHE_BYTES")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && env[0] != '-')
+            return (uint64_t)v;
+        TD_WARN("ignoring malformed TD_SYNTH_CACHE_BYTES='%s' "
+                "(want a non-negative byte count)", env);
+    }
+    return kDefaultBudgetBytes;
+}
+
+} // namespace tensordash

@@ -31,6 +31,7 @@
 #include "common/thread_pool.hh"
 #include "core/result_store.hh"
 #include "core/runner.hh"
+#include "core/synth_cache.hh"
 #include "models/model_zoo.hh"
 #include "sim/accelerator.hh"
 #include "sim/area_model.hh"

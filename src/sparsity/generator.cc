@@ -35,16 +35,18 @@ applyClusteredSparsity(Tensor &tensor, const ClusterParams &params,
     double k = 80.0 * std::pow(0.01, params.strength);
     k = std::max(k, 0.8);
     const Shape &s = tensor.shape();
-    for (int n = 0; n < s.n; ++n) {
-        for (int c = 0; c < s.c; ++c) {
-            float map_density =
-                rng.beta((float)(density * k),
-                         (float)((1.0 - density) * k));
-            for (int h = 0; h < s.h; ++h)
-                for (int w = 0; w < s.w; ++w)
-                    if (!rng.bernoulli(map_density))
-                        tensor.at(n, c, h, w) = 0.0f;
-        }
+    // Raw walk over each contiguous (n, c) slice with a branchless
+    // select; the draw order (one beta per map, one uniform per
+    // element in h-major order) must match the indexed form
+    // bit-for-bit — results are content-addressed on it.
+    size_t per_map = (size_t)s.h * s.w;
+    float *base = tensor.data();
+    for (size_t m = 0; m < (size_t)s.n * s.c; ++m) {
+        float map_density = rng.beta((float)(density * k),
+                                     (float)((1.0 - density) * k));
+        float *p = base + m * per_map;
+        for (size_t i = 0; i < per_map; ++i)
+            p[i] = rng.bernoulli(map_density) ? p[i] : 0.0f;
     }
 }
 
@@ -57,24 +59,29 @@ applyMagnitudePruning(Tensor &weights, double sparsity)
     auto prune_count = (size_t)((double)n * sparsity);
     if (prune_count == 0)
         return;
-    std::vector<float> mags(n);
+    // One scratch holds the magnitudes nth_element scrambles; the
+    // selection passes recompute |w| on the fly instead of keeping a
+    // second pristine copy — each pass reads an element before it can
+    // zero it, so the recomputed magnitude is the original one.
+    std::vector<float> scratch(n);
     for (size_t i = 0; i < n; ++i)
-        mags[i] = std::fabs(weights[i]);
-    std::vector<float> sorted = mags;
-    std::nth_element(sorted.begin(), sorted.begin() + (prune_count - 1),
-                     sorted.end());
-    float threshold = sorted[prune_count - 1];
+        scratch[i] = std::fabs(weights[i]);
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + (prune_count - 1),
+                     scratch.end());
+    float threshold = scratch[prune_count - 1];
     size_t pruned = 0;
     // Prune strictly-below first, then values at the threshold until the
     // target count is reached (handles ties deterministically).
     for (size_t i = 0; i < n && pruned < prune_count; ++i) {
-        if (mags[i] < threshold) {
+        if (std::fabs(weights[i]) < threshold) {
             weights[i] = 0.0f;
             ++pruned;
         }
     }
     for (size_t i = 0; i < n && pruned < prune_count; ++i) {
-        if (weights[i] != 0.0f && mags[i] == threshold) {
+        if (weights[i] != 0.0f &&
+            std::fabs(weights[i]) == threshold) {
             weights[i] = 0.0f;
             ++pruned;
         }
@@ -108,27 +115,31 @@ applyClusteredPruning(Tensor &weights, double sparsity, double strength,
     for (double &m : chan_mult)
         m /= chan_mean;
 
+    // One scratch reused across every slice (it only ever feeds
+    // nth_element); the selection passes recompute |w| on the fly —
+    // each pass reads an element before it can zero it, so the
+    // recomputed magnitude is the original one.
     size_t per_slice = (size_t)s.h * s.w;
-    std::vector<float> mags(per_slice);
+    std::vector<float> scratch(per_slice);
     auto pruneSlice = [&](float *base, size_t prune_count) {
         if (prune_count == 0)
             return;
         for (size_t i = 0; i < per_slice; ++i)
-            mags[i] = std::fabs(base[i]);
-        std::vector<float> sorted = mags;
-        std::nth_element(sorted.begin(),
-                         sorted.begin() + (prune_count - 1),
-                         sorted.end());
-        float threshold = sorted[prune_count - 1];
+            scratch[i] = std::fabs(base[i]);
+        std::nth_element(scratch.begin(),
+                         scratch.begin() + (prune_count - 1),
+                         scratch.end());
+        float threshold = scratch[prune_count - 1];
         size_t pruned = 0;
         for (size_t i = 0; i < per_slice && pruned < prune_count; ++i) {
-            if (mags[i] < threshold) {
+            if (std::fabs(base[i]) < threshold) {
                 base[i] = 0.0f;
                 ++pruned;
             }
         }
         for (size_t i = 0; i < per_slice && pruned < prune_count; ++i) {
-            if (base[i] != 0.0f && mags[i] == threshold) {
+            if (base[i] != 0.0f &&
+                std::fabs(base[i]) == threshold) {
                 base[i] = 0.0f;
                 ++pruned;
             }
@@ -159,14 +170,23 @@ perMapDensities(const Tensor &tensor)
     const Shape &s = tensor.shape();
     std::vector<double> densities;
     densities.reserve((size_t)s.n * s.c);
-    for (int n = 0; n < s.n; ++n) {
-        for (int c = 0; c < s.c; ++c) {
-            int nz = 0;
-            for (int h = 0; h < s.h; ++h)
-                for (int w = 0; w < s.w; ++w)
-                    nz += tensor.at(n, c, h, w) != 0.0f;
-            densities.push_back((double)nz / ((double)s.h * s.w));
+    // Raw walk per contiguous (n, c) slice; unrolled accumulators as
+    // in Tensor::nonzeros.
+    size_t per_map = (size_t)s.h * s.w;
+    const float *base = tensor.data();
+    for (size_t m = 0; m < (size_t)s.n * s.c; ++m) {
+        const float *p = base + m * per_map;
+        size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0, i = 0;
+        for (; i + 4 <= per_map; i += 4) {
+            c0 += p[i] != 0.0f;
+            c1 += p[i + 1] != 0.0f;
+            c2 += p[i + 2] != 0.0f;
+            c3 += p[i + 3] != 0.0f;
         }
+        for (; i < per_map; ++i)
+            c0 += p[i] != 0.0f;
+        densities.push_back((double)(c0 + c1 + c2 + c3) /
+                            (double)per_map);
     }
     return densities;
 }

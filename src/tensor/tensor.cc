@@ -69,9 +69,13 @@ Tensor::fillSmallInt(Rng &rng, int mag)
 void
 Tensor::dropout(Rng &rng, float p)
 {
-    for (auto &v : data_)
-        if (rng.bernoulli(p))
-            v = 0.0f;
+    // Branchless select over a raw walk: the draw order (one uniform
+    // per element) must match the branchy form bit-for-bit — results
+    // are content-addressed on it.
+    float *v = data_.data();
+    size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i)
+        v[i] = rng.bernoulli(p) ? 0.0f : v[i];
 }
 
 double
@@ -85,10 +89,20 @@ Tensor::sparsity() const
 size_t
 Tensor::nonzeros() const
 {
-    size_t count = 0;
-    for (float v : data_)
-        count += v != 0.0f;
-    return count;
+    // Four independent accumulators so no single add chain serialises
+    // the compare stream.
+    const float *v = data_.data();
+    size_t n = data_.size();
+    size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0, i = 0;
+    for (; i + 4 <= n; i += 4) {
+        c0 += v[i] != 0.0f;
+        c1 += v[i + 1] != 0.0f;
+        c2 += v[i + 2] != 0.0f;
+        c3 += v[i + 3] != 0.0f;
+    }
+    for (; i < n; ++i)
+        c0 += v[i] != 0.0f;
+    return c0 + c1 + c2 + c3;
 }
 
 void

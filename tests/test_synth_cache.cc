@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the content-addressed synthesis cache: SynthKey covers
+ * exactly the synthesis-affecting inputs (and nothing else), a
+ * multi-variant geometry sweep synthesizes each cell once, sweeps are
+ * bit-identical cold vs warm vs disabled at any thread count and
+ * under both memory models, the byte-budgeted LRU respects its budget
+ * and re-synthesizes evicted cells bit-identically, and custom
+ * synthesize hooks key on their salt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/tensordash.hh"
+
+namespace tensordash {
+namespace {
+
+/** Small conv models with unequal layer counts (mirrors
+ * test_sweep_spec's grid shapes). */
+ModelProfile
+tinyModel()
+{
+    ModelProfile m;
+    m.name = "tiny";
+    m.batch = 1;
+    m.sparsity.act = 0.6;
+    m.sparsity.grad = 0.5;
+    LayerSpec l;
+    l.name = "c1";
+    l.in_c = 3;
+    l.in_hw = 8;
+    l.out_c = 4;
+    l.kernel = 3;
+    l.pad = 1;
+    m.layers.push_back(l);
+    l.name = "c2";
+    l.in_c = 4;
+    m.layers.push_back(l);
+    return m;
+}
+
+ModelProfile
+tinyModelB()
+{
+    ModelProfile m = tinyModel();
+    m.name = "tinyB";
+    m.sparsity.act = 0.4;
+    LayerSpec l = m.layers.back();
+    l.name = "c3";
+    l.stride = 2;
+    l.pad = 0;
+    m.layers.push_back(l);
+    return m;
+}
+
+std::vector<ModelProfile>
+tinyModels()
+{
+    return {tinyModel(), tinyModelB()};
+}
+
+/** Fast configuration; @p seed keeps each test's task and synth keys
+ * disjoint from every other test's — the result memo and the synth
+ * cache are both process-wide. */
+RunConfig
+specConfig(uint64_t seed)
+{
+    RunConfig cfg;
+    cfg.accel.tiles = 2;
+    cfg.accel.max_sampled_macs = 20000;
+    cfg.seed = seed;
+    cfg.threads = 0; // pool default: exercises concurrent claims
+    // Bit-identity tests compare repeated runs of one spec: the result
+    // memo would serve the repeat without simulating, hiding exactly
+    // the synthesis paths under test.
+    cfg.cache = false;
+    return cfg;
+}
+
+SweepAxis
+rowsAxis(std::initializer_list<int> rows)
+{
+    return axis("rows", rows, [](RunConfig &cfg, int r) {
+        cfg.accel.tile.rows = r;
+    });
+}
+
+/** Serialized sweep content with the cache telemetry zeroed. */
+std::vector<uint8_t>
+contentBytes(SweepResult s)
+{
+    s.cache_hits = 0;
+    s.simulated = 0;
+    return s.serialize();
+}
+
+TEST(SynthKeyTest, CoversSynthesisInputsOnly)
+{
+    RunConfig cfg = specConfig(9100);
+    ModelProfile model = tinyModel();
+    uint64_t base = SynthKey::forCell(cfg, model, 0, 0.5).value;
+
+    // Stable across recomputation.
+    EXPECT_EQ(base, SynthKey::forCell(cfg, model, 0, 0.5).value);
+
+    // Every synthesis-affecting input moves the key.
+    {
+        RunConfig c = cfg;
+        c.seed += 1;
+        EXPECT_NE(base, SynthKey::forCell(c, model, 0, 0.5).value);
+    }
+    {
+        RunConfig c = cfg;
+        c.batch_override = 4;
+        EXPECT_NE(base, SynthKey::forCell(c, model, 0, 0.5).value);
+    }
+    EXPECT_NE(base, SynthKey::forCell(cfg, model, 1, 0.5).value);
+    EXPECT_NE(base, SynthKey::forCell(cfg, model, 0, 0.25).value);
+    {
+        ModelProfile m = model;
+        m.sparsity.act = 0.3;
+        EXPECT_NE(base, SynthKey::forCell(cfg, m, 0, 0.5).value);
+    }
+    {
+        ModelProfile m = model;
+        m.sparsity.cluster_strength = 0.9;
+        EXPECT_NE(base, SynthKey::forCell(cfg, m, 0, 0.5).value);
+    }
+    {
+        ModelProfile m = model;
+        m.layers[0].in_c += 1;
+        EXPECT_NE(base, SynthKey::forCell(cfg, m, 0, 0.5).value);
+    }
+    {
+        ModelProfile m = model;
+        m.batch = 2;
+        EXPECT_NE(base, SynthKey::forCell(cfg, m, 0, 0.5).value);
+    }
+    EXPECT_NE(base, SynthKey::forCell(cfg, model, 0, 0.5, 7).value);
+
+    // Execution and simulation knobs do not: geometry, memory model,
+    // fidelity, phase, caching, threads.
+    {
+        RunConfig c = cfg;
+        c.accel.tile.rows *= 2;
+        c.accel.tiles *= 2;
+        EXPECT_EQ(base, SynthKey::forCell(c, model, 0, 0.5).value);
+    }
+    {
+        RunConfig c = cfg;
+        c.accel.memory_model = MemoryModel::Pipelined;
+        EXPECT_EQ(base, SynthKey::forCell(c, model, 0, 0.5).value);
+    }
+    {
+        RunConfig c = cfg;
+        c.fidelity = Fidelity::Estimate;
+        EXPECT_EQ(base, SynthKey::forCell(c, model, 0, 0.5).value);
+    }
+    {
+        RunConfig c = cfg;
+        c.phase = WorkloadPhase::Inference;
+        EXPECT_EQ(base, SynthKey::forCell(c, model, 0, 0.5).value);
+    }
+    {
+        RunConfig c = cfg;
+        c.cache = true;
+        c.threads = 3;
+        c.synth_cache_bytes = 123;
+        EXPECT_EQ(base, SynthKey::forCell(c, model, 0, 0.5).value);
+    }
+
+    // The model name only matters under a custom hook (non-zero
+    // salt), which may legitimately seed off it.
+    {
+        ModelProfile m = model;
+        m.name = "renamed";
+        EXPECT_EQ(base, SynthKey::forCell(cfg, m, 0, 0.5).value);
+        EXPECT_NE(SynthKey::forCell(cfg, model, 0, 0.5, 7).value,
+                  SynthKey::forCell(cfg, m, 0, 0.5, 7).value);
+    }
+}
+
+TEST(SynthCacheTest, CrossVariantReuseOnTwoAxisGrid)
+{
+    RunConfig cfg = specConfig(9200);
+    ModelRunner runner(cfg);
+
+    SweepSpec spec;
+    spec.models = tinyModels();
+    spec.progress_points = {0.5};
+    spec.axes = {rowsAxis({2, 4}),
+                 axis("tiles", {1, 2}, [](RunConfig &c, int t) {
+                     c.accel.tiles = t;
+                 })};
+
+    SynthCache::shared().clear();
+    const SynthCounters before = SynthCache::shared().counters();
+    SweepResult sweep = runner.runSweep(spec);
+    const SynthCounters after = SynthCache::shared().counters();
+
+    // 4 geometry variants x 5 layers x 1 progress point: 5 unique
+    // synthesis cells, each synthesized once and reused 3 times.
+    const uint64_t cells = 5;
+    const uint64_t variants = 4;
+    EXPECT_EQ(after.keys - before.keys, cells);
+    EXPECT_EQ(after.reuses - before.reuses, (variants - 1) * cells);
+    EXPECT_EQ(sweep.taskCount(), variants * cells);
+}
+
+TEST(SynthCacheTest, EstimateVariantsNeverSynthesize)
+{
+    RunConfig cfg = specConfig(9250);
+    cfg.fidelity = Fidelity::Estimate;
+    ModelRunner runner(cfg);
+
+    SweepSpec spec;
+    spec.models = tinyModels();
+    spec.progress_points = {0.5};
+    spec.axes = {rowsAxis({2, 4})};
+
+    SynthCache::shared().clear();
+    const SynthCounters before = SynthCache::shared().counters();
+    SweepResult sweep = runner.runSweep(spec);
+    const SynthCounters after = SynthCache::shared().counters();
+    EXPECT_EQ(after.keys, before.keys);
+    EXPECT_EQ(after.reuses, before.reuses);
+    EXPECT_EQ(sweep.estimated, sweep.cellCount());
+}
+
+TEST(SynthCacheTest, BitIdentityColdWarmDisabledAcrossThreads)
+{
+    for (MemoryModel mm :
+         {MemoryModel::Analytic, MemoryModel::Pipelined}) {
+        RunConfig cfg = specConfig(
+            9300 + (mm == MemoryModel::Pipelined ? 7 : 0));
+        cfg.accel.memory_model = mm;
+
+        SweepSpec spec;
+        spec.models = tinyModels();
+        spec.progress_points = {0.25, 0.75};
+        spec.axes = {rowsAxis({2, 4})};
+
+        // Reference: cache disabled, single thread.
+        RunConfig ref_cfg = cfg;
+        ref_cfg.threads = 1;
+        ref_cfg.synth_cache_bytes = 0;
+        std::vector<uint8_t> want =
+            contentBytes(ModelRunner(ref_cfg).runSweep(spec));
+
+        for (int threads : {1, 2, 8}) {
+            RunConfig c = cfg;
+            c.threads = threads;
+
+            c.synth_cache_bytes = 0; // disabled
+            EXPECT_EQ(want,
+                      contentBytes(ModelRunner(c).runSweep(spec)))
+                << "disabled, threads=" << threads;
+
+            c.synth_cache_bytes = 256 << 20;
+            SynthCache::shared().clear(); // cold
+            EXPECT_EQ(want,
+                      contentBytes(ModelRunner(c).runSweep(spec)))
+                << "cold, threads=" << threads;
+
+            // warm: same keys, served from the ready entries
+            EXPECT_EQ(want,
+                      contentBytes(ModelRunner(c).runSweep(spec)))
+                << "warm, threads=" << threads;
+        }
+    }
+}
+
+TEST(SynthCacheTest, TinyBudgetEvictsYetStaysBitIdentical)
+{
+    RunConfig cfg = specConfig(9400);
+
+    SweepSpec spec;
+    spec.models = tinyModels();
+    spec.progress_points = {0.5};
+    spec.axes = {rowsAxis({2, 4})};
+
+    RunConfig ref_cfg = cfg;
+    ref_cfg.synth_cache_bytes = 0;
+    std::vector<uint8_t> want =
+        contentBytes(ModelRunner(ref_cfg).runSweep(spec));
+
+    // A 1-byte budget evicts every entry as soon as it is accounted:
+    // reuse still happens for concurrent holders, but the steady
+    // state is constant eviction and re-synthesis.
+    RunConfig c = cfg;
+    c.synth_cache_bytes = 1;
+    SynthCache::shared().clear();
+    EXPECT_EQ(want, contentBytes(ModelRunner(c).runSweep(spec)));
+    EXPECT_LE(SynthCache::shared().residentBytes(), 1u);
+}
+
+TEST(SynthCacheTest, LruEvictionRespectsByteBudget)
+{
+    SynthCache cache;
+    ModelProfile model = tinyModel();
+    const LayerSpec &layer = model.layers[0];
+
+    auto makeKey = [](uint64_t i) { return SynthKey{0xabc000 + i}; };
+    std::atomic<int> synth_calls{0};
+    auto synthAt = [&](uint64_t i) {
+        return [&, i]() -> LayerTensors {
+            ++synth_calls;
+            Rng rng(1000 + i);
+            return ModelZoo::synthesize(model, layer, 0.5, rng);
+        };
+    };
+
+    auto first = cache.acquire(makeKey(0), synthAt(0));
+    const uint64_t entry_bytes = first->bytes;
+    ASSERT_GT(entry_bytes, 0u);
+
+    // Budget for two entries: inserting a third evicts the least
+    // recently used.
+    cache.setBudgetBytes(2 * entry_bytes);
+    cache.acquire(makeKey(1), synthAt(1));
+    cache.acquire(makeKey(0), synthAt(0)); // key 0 now most recent
+    cache.acquire(makeKey(2), synthAt(2)); // evicts key 1
+    EXPECT_EQ(synth_calls.load(), 3);
+    EXPECT_LE(cache.residentBytes(), cache.budgetBytes());
+    EXPECT_EQ(cache.entryCount(), 2u);
+
+    // Key 0 survived (recent); key 1 was evicted and re-synthesizes
+    // bit-identically — same Rng, same tensors.
+    cache.acquire(makeKey(0), synthAt(0));
+    EXPECT_EQ(synth_calls.load(), 3);
+    auto again = cache.acquire(makeKey(1), synthAt(1));
+    EXPECT_EQ(synth_calls.load(), 4);
+    Rng rng(1001);
+    LayerTensors direct = ModelZoo::synthesize(model, layer, 0.5, rng);
+    EXPECT_EQ(again->tensors.acts.maxAbsDiff(direct.acts), 0.0f);
+    EXPECT_EQ(again->tensors.weights.maxAbsDiff(direct.weights), 0.0f);
+    EXPECT_EQ(again->tensors.grads.maxAbsDiff(direct.grads), 0.0f);
+
+    const SynthCounters c = cache.counters();
+    EXPECT_EQ(c.keys, 4u);   // three keys + one re-synthesis
+    EXPECT_EQ(c.reuses, 2u); // the two warm re-acquisitions of key 0
+
+    // A budget below one entry keeps nothing resident but still
+    // serves every acquisition.
+    cache.setBudgetBytes(1);
+    EXPECT_EQ(cache.entryCount(), 0u);
+    auto v = cache.acquire(makeKey(5), synthAt(5));
+    ASSERT_NE(v, nullptr);
+    EXPECT_LE(cache.residentBytes(), 1u);
+}
+
+TEST(SynthCacheTest, CustomHookSweepsKeyOnSalt)
+{
+    RunConfig cfg = specConfig(9500);
+    ModelRunner runner(cfg);
+
+    std::atomic<size_t> hook_calls{0};
+    auto makeSpec = [&](uint64_t salt) {
+        SweepSpec spec;
+        spec.models = {tinyModel()};
+        spec.progress_points = {0.5};
+        spec.axes = {rowsAxis({2, 4})};
+        spec.synthesize = [&hook_calls](const RunConfig &c,
+                                        const ModelProfile &m,
+                                        size_t layer, double progress) {
+            ++hook_calls;
+            Rng rng(c.seed * 31 + layer * 7 +
+                    (uint64_t)(progress * 100));
+            return ModelZoo::synthesize(m, m.layers[layer], progress,
+                                        rng);
+        };
+        spec.synthesis_salt = salt;
+        return spec;
+    };
+
+    SynthCache::shared().clear();
+    const SynthCounters before = SynthCache::shared().counters();
+    runner.runSweep(makeSpec(11));
+    // 2 variants x 2 layers, one hook call per unique cell.
+    EXPECT_EQ(hook_calls.load(), 2u);
+    const SynthCounters mid = SynthCache::shared().counters();
+    EXPECT_EQ(mid.keys - before.keys, 2u);
+    EXPECT_EQ(mid.reuses - before.reuses, 2u);
+
+    // A different salt is a different hook contract: nothing reuses
+    // across salts even though models and seeds agree.
+    runner.runSweep(makeSpec(12));
+    EXPECT_EQ(hook_calls.load(), 4u);
+    const SynthCounters after = SynthCache::shared().counters();
+    EXPECT_EQ(after.keys - mid.keys, 2u);
+}
+
+} // namespace
+} // namespace tensordash
