@@ -72,6 +72,9 @@ defaultRunConfig()
  *   --reps N         repeat the figure N times and report wall-clock
  *                    per repetition (for scaling measurements)
  *   --csv PATH       also write the figure's table as CSV to PATH
+ *   --json PATH      write machine-readable run stats (wall-clock ms,
+ *                    cells, cache/synth counters, fission subtasks) to
+ *                    PATH — the perf-trajectory artifact CI uploads
  *   --cache-dir DIR  on-disk result cache shared across runs and
  *                    processes (default: the TD_CACHE environment
  *                    variable; in-memory memoisation is always on)
@@ -94,6 +97,7 @@ struct Options
     int threads = 0;
     int reps = 1;
     std::string csv;
+    std::string json;
     std::string cache_dir;
     bool estimate = false;
     size_t shard_index = 0;
@@ -114,6 +118,7 @@ usage(const char *binary, FILE *out = stdout, bool sharding = false)
         "rep\n"
         "  --csv PATH       also write the figure's table as CSV to "
         "PATH\n"
+        "  --json PATH      write machine-readable run stats to PATH\n"
         "  --cache-dir DIR  on-disk result cache (default: TD_CACHE "
         "env)\n"
         "  --estimate       closed-form estimate tier (triage only, "
@@ -173,6 +178,8 @@ parseArgs(int argc, char **argv, bool sharding = false)
             opts.reps = intValue(i, 1);
         } else if (arg == "--csv") {
             opts.csv = value(i);
+        } else if (arg == "--json") {
+            opts.json = value(i);
         } else if (arg == "--cache-dir") {
             opts.cache_dir = value(i);
         } else if (arg == "--estimate") {
@@ -254,6 +261,66 @@ emit(const Table &t, const Options &opts)
 }
 
 /**
+ * Counters of the most recent sweep reported through reportCache(),
+ * plus the last repetition's wall-clock — the payload of --json.  A
+ * process-wide mutable singleton is fine here: bench binaries render
+ * one figure from one thread.
+ */
+struct BenchJsonStats
+{
+    bool have_sweep = false;
+    size_t tasks = 0;
+    size_t cells = 0;
+    size_t cache_hits = 0;
+    size_t estimated = 0;
+    size_t simulated = 0;
+    size_t fission_subtasks = 0;
+    size_t synth_keys = 0;
+    size_t synth_reuses = 0;
+    double wall_ms = 0.0;
+
+    static BenchJsonStats &
+    instance()
+    {
+        static BenchJsonStats stats;
+        return stats;
+    }
+};
+
+/** Write the collected run stats as JSON (no-op without --json). */
+inline void
+writeBenchJson(const Options &opts, int threads)
+{
+    if (opts.json.empty())
+        return;
+    const BenchJsonStats &s = BenchJsonStats::instance();
+    FILE *f = std::fopen(opts.json.c_str(), "w");
+    if (!f) {
+        TD_FATAL("cannot write JSON to '%s'", opts.json.c_str());
+        return; // unreachable unless throw-mode swallows the fatal
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"wall_ms\": %.3f,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"tasks\": %zu,\n"
+                 "  \"cells\": %zu,\n"
+                 "  \"cache_hits\": %zu,\n"
+                 "  \"estimated\": %zu,\n"
+                 "  \"simulated\": %zu,\n"
+                 "  \"fission_subtasks\": %zu,\n"
+                 "  \"synth_keys\": %zu,\n"
+                 "  \"synth_reuses\": %zu\n"
+                 "}\n",
+                 s.wall_ms, threads, opts.reps, s.tasks, s.cells,
+                 s.cache_hits, s.estimated, s.simulated,
+                 s.fission_subtasks, s.synth_keys, s.synth_reuses);
+    std::fclose(f);
+    std::printf("json written to %s\n", opts.json.c_str());
+}
+
+/**
  * Build-and-emit loop: runs @p build opts.reps times, reporting the
  * wall-clock of every repetition, and emits the last table.  Figures
  * route their whole computation through build() so --reps times the
@@ -287,7 +354,9 @@ runFigure(const Options &opts, BuildFn &&build)
             emit(t, opts);
         std::printf("[rep %d/%d] %.0f ms (%d thread%s)\n", rep + 1,
                     opts.reps, ms, threads, threads == 1 ? "" : "s");
+        BenchJsonStats::instance().wall_ms = ms;
     }
+    writeBenchJson(opts, threads);
 }
 
 /** Report the sweep's cache effectiveness plus the process-wide
@@ -311,6 +380,17 @@ reportCache(const SweepResult &sweep)
     const SynthCounters s = SynthCache::shared().counters();
     std::printf("[synth] keys=%zu reuses=%zu\n", (size_t)s.keys,
                 (size_t)s.reuses);
+
+    BenchJsonStats &j = BenchJsonStats::instance();
+    j.have_sweep = true;
+    j.tasks = sweep.taskCount();
+    j.cells = sweep.cellCount();
+    j.cache_hits = sweep.cache_hits;
+    j.estimated = sweep.estimated;
+    j.simulated = sweep.simulated;
+    j.fission_subtasks = sweep.fission_subtasks;
+    j.synth_keys = (size_t)s.keys;
+    j.synth_reuses = (size_t)s.reuses;
 }
 
 /**

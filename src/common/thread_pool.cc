@@ -11,9 +11,6 @@ namespace tensordash {
 
 namespace {
 
-/** Set while a pool worker runs a body: nested calls go inline. */
-thread_local bool tls_in_pool_worker = false;
-
 /** Hard bound on pool growth (matches the TD_THREADS validity range). */
 constexpr int kMaxThreads = 4096;
 
@@ -28,8 +25,10 @@ struct ThreadPool::Job
     /** Next unclaimed index; threads race to claim from here. */
     std::atomic<size_t> next{0};
 
-    /** Worker seats left (caps parallelism below the pool size). */
-    std::atomic<int> seats{0};
+    /** Helper seats left (caps parallelism below the pool size).
+     * Guarded by the pool's mu_; zeroed by whichever executor first
+     * drains the cursor so idle workers stop seating themselves. */
+    int seats = 0;
 
     /** Workers currently inside claimLoop(). */
     int active = 0; ///< guarded by the pool's mu_
@@ -128,15 +127,16 @@ ThreadPool::parallelFor(size_t count,
 {
     if (count == 0)
         return;
-    if (count == 1 || parallelism == 1 || tls_in_pool_worker) {
+    if (count == 1 || parallelism == 1) {
         // Inline path: index order, no synchronisation.
         for (size_t i = 0; i < count; ++i)
             body(i);
         return;
     }
 
-    std::lock_guard<std::mutex> run_lock(run_mu_);
-    size_t nworkers;
+    Job job;
+    job.count = count;
+    job.body = &body;
     {
         std::lock_guard<std::mutex> lock(mu_);
         // Grow to honour an explicit request above the current size;
@@ -151,41 +151,40 @@ ThreadPool::parallelFor(size_t count,
             TD_WARN("thread pool growth limited to %d of %d requested "
                     "threads", (int)workers_.size() + 1, cap);
         }
-        nworkers = parallelism > 0
+        size_t nworkers = parallelism > 0
             ? std::min((size_t)(parallelism - 1), workers_.size())
             : workers_.size();
+        if (nworkers == 0) {
+            job.body = nullptr; // inline below, nothing published
+        } else {
+            // Helpers beyond the item count would only spin on an
+            // exhausted cursor; don't seat them.  The caller is this
+            // job's guaranteed executor — helpers are a best-effort
+            // bonus shared with every other active job.
+            job.seats = (int)std::min(nworkers, count - 1);
+            jobs_.push_back(&job);
+        }
     }
-    if (nworkers == 0) {
+    if (!job.body) {
         for (size_t i = 0; i < count; ++i)
             body(i);
         return;
     }
-
-    Job job;
-    job.count = count;
-    job.body = &body;
-    // Workers beyond the item count or the parallelism cap would only
-    // spin on an exhausted cursor; don't seat them.
-    job.seats.store((int)std::min(nworkers, count),
-                    std::memory_order_relaxed);
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        job_ = &job;
-        ++seq_;
-    }
     work_cv_.notify_all();
 
-    // The caller is an executor too.  Flag it like a worker so a body
-    // that recursively calls parallelFor() runs inline instead of
-    // deadlocking on run_mu_.
-    tls_in_pool_worker = true;
+    // The caller always drives its own range to completion, so a job
+    // published from inside a worker (nested parallelFor) finishes
+    // even when every other thread is busy: no circular wait exists.
     job.claimLoop();
-    tls_in_pool_worker = false;
 
     {
         std::unique_lock<std::mutex> lock(mu_);
+        // The cursor is drained (or the job failed): close the seats
+        // so no idle worker joins a finished job, then wait out the
+        // helpers still inside claimLoop().
+        job.seats = 0;
         done_cv_.wait(lock, [&] { return job.active == 0; });
-        job_ = nullptr;
+        jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
     }
     if (job.error)
         std::rethrow_exception(job.error);
@@ -194,27 +193,38 @@ ThreadPool::parallelFor(size_t count,
 void
 ThreadPool::workerLoop()
 {
-    uint64_t seen_seq = 0;
     for (;;) {
         Job *job = nullptr;
         {
             std::unique_lock<std::mutex> lock(mu_);
             work_cv_.wait(lock, [&] {
-                return stop_ || (job_ != nullptr && seq_ != seen_seq);
+                if (stop_)
+                    return true;
+                for (Job *j : jobs_)
+                    if (j->seats > 0)
+                        return true;
+                return false;
             });
             if (stop_)
                 return;
-            seen_seq = seq_;
-            job = job_;
-            if (job->seats.fetch_sub(1, std::memory_order_relaxed) <= 0)
-                continue; // job already fully seated
-            ++job->active;
+            for (Job *j : jobs_) {
+                if (j->seats > 0) {
+                    job = j;
+                    --job->seats;
+                    ++job->active;
+                    break;
+                }
+            }
+            if (!job)
+                continue;
         }
-        tls_in_pool_worker = true;
         job->claimLoop();
-        tls_in_pool_worker = false;
         {
             std::lock_guard<std::mutex> lock(mu_);
+            // First finisher closes the seats: claimLoop only returns
+            // once the cursor is drained (or the job failed), so any
+            // further seating would just spin.
+            job->seats = 0;
             --job->active;
         }
         done_cv_.notify_all();

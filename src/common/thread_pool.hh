@@ -13,12 +13,21 @@
  * pools.
  *
  * Scheduling is a work-stealing-ish claim loop: parallelFor() publishes
- * one job (an index range plus a body) and the caller *and* the woken
+ * one job (an index range plus a body) and the caller *and* any idle
  * workers race to claim indices from a shared atomic cursor, so threads
  * that finish cheap items immediately steal the next unclaimed index
  * from slower ones.  Determinism is the caller's contract: bodies write
  * only to their own index's slot, and any order-sensitive reduction
  * happens after parallelFor() returns.
+ *
+ * Jobs nest: a body may itself call parallelFor() (the engine's
+ * intra-layer task fission submits per-op subtask ranges from inside
+ * layer tasks).  The nested call publishes a second job to the same
+ * pool — idle workers help with it — while the submitting thread
+ * claims from its own range until exhausted, so a nested call never
+ * deadlocks waiting for executors and never oversubscribes: only
+ * threads with nothing else to do pick a nested job up, and the
+ * caller itself always drives its range to completion.
  *
  * Sizing: an explicit constructor argument wins, otherwise the
  * TD_THREADS environment variable, otherwise hardware_concurrency.
@@ -79,10 +88,13 @@ class ThreadPool
      * exception thrown by a body is rethrown here (remaining indices
      * are skipped, in-flight ones finish).
      *
-     * Concurrent parallelFor() calls from different threads serialise
-     * against each other; a call made from inside a pool worker (or
-     * with an effective parallelism of 1) runs inline on the calling
-     * thread in index order.
+     * Concurrent parallelFor() calls — from different threads or
+     * nested inside a running body — coexist: each publishes its own
+     * job and idle workers split themselves across the active jobs.
+     * The calling thread always participates in its own job's range,
+     * so a call never waits on executors it might itself be blocking
+     * (nested calls cannot deadlock) and a 1-thread pool runs
+     * everything inline in index order.
      *
      * @param count       number of indices
      * @param body        task body; must only touch state owned by its
@@ -101,14 +113,13 @@ class ThreadPool
 
     std::vector<std::thread> workers_; ///< mutations guarded by mu_
 
-    mutable std::mutex mu_; ///< guards workers_, job_, seq_, stop_
+    mutable std::mutex mu_; ///< guards workers_, jobs_, stop_
     std::condition_variable work_cv_;
     std::condition_variable done_cv_;
-    Job *job_ = nullptr;
-    uint64_t seq_ = 0;
-    bool stop_ = false;
 
-    std::mutex run_mu_; ///< serialises concurrent parallelFor() calls
+    /** Published jobs with unseated helper capacity, oldest first. */
+    std::vector<Job *> jobs_;
+    bool stop_ = false;
 };
 
 } // namespace tensordash

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <unordered_set>
 #include <utility>
@@ -113,6 +115,40 @@ struct SimTask
     double est_cost;
 };
 
+/**
+ * Intra-layer fission plan shared by every simulation task of one
+ * run: ops whose estimated simulation cost exceeds the threshold
+ * split into up to max_parts contiguous job ranges (see
+ * Accelerator::runOp).  threshold <= 0 disables fission.
+ */
+struct FissionPolicy
+{
+    double threshold = 0.0; ///< absolute estimateSimCost units
+    int max_parts = 1;
+};
+
+/**
+ * Resolve RunConfig::fission_threshold to a cost multiplier: a
+ * non-negative config value wins, otherwise TD_FISSION, otherwise the
+ * default of 4x the grid's mean per-op cost — high enough that only
+ * genuine giant-layer tails split, low enough to cap them.
+ */
+double
+resolveFissionMultiplier(double config_value)
+{
+    if (config_value >= 0.0)
+        return config_value;
+    if (const char *env = std::getenv("TD_FISSION")) {
+        char *end = nullptr;
+        double v = std::strtod(env, &end);
+        if (end != env && *end == '\0' && v >= 0.0)
+            return v;
+        TD_WARN("ignoring invalid TD_FISSION='%s' "
+                "(want a multiplier >= 0)", env);
+    }
+    return 4.0;
+}
+
 /** Synthesis volume of one layer's tensors (elements of acts +
  * weights + grads) — the work a task pays once if any cell misses. */
 double
@@ -164,6 +200,8 @@ void
 simulateTaskOps(const GridLayout &grid, const SweepUnit &unit,
                 const SimTask &task, std::span<const TrainOp> ops,
                 uint32_t missing, SynthCache *synth_cache,
+                const FissionPolicy &fission,
+                std::atomic<uint64_t> *fission_subtasks,
                 LayerResult *out)
 {
     const RunConfig &config = *unit.config;
@@ -213,19 +251,46 @@ simulateTaskOps(const GridLayout &grid, const SweepUnit &unit,
         out_sparsity[(int)TrainOp::BackwardData] = st->grad_sparsity;
     }
     const LayerSpec &layer = unit.model->layers[task.layer];
+    const bool fission_active =
+        fission.threshold > 0.0 && fission.max_parts > 1;
+    CellSparsity fission_sp;
+    if (fission_active)
+        fission_sp = effectiveCellSparsity(*unit.model, task.layer,
+                                           unit.progress);
     for (size_t j = 0; j < ops.size(); ++j) {
         if (!(missing & (1u << j)))
             continue;
         TrainOp op = ops[j];
+        // Ops past the fission threshold split into contiguous job
+        // ranges, bounded by the run's parallelism and by the op's own
+        // sampled job count.  Purely an execution decision: results
+        // are bit-identical at any part count.
+        int parts = 1;
+        if (fission_active) {
+            OpEstimator::SimCostDetail detail =
+                OpEstimator::estimateSimCostDetail(
+                    accel_cfg, layer, unit.model->batch, op,
+                    fission_sp);
+            if (detail.cost > fission.threshold) {
+                double cap =
+                    std::max(std::min((double)fission.max_parts,
+                                      detail.sampled_jobs), 1.0);
+                parts = (int)std::min(
+                    std::ceil(detail.cost / fission.threshold), cap);
+            }
+        }
         OpCellResult &cell = out->cells[j];
         cell.op = layer.fc
             ? accel.runFcOp(op, t.acts, t.weights, t.grads,
-                            out_sparsity[(int)op])
+                            out_sparsity[(int)op], parts)
             : accel.runConvOp(op, t.acts, t.weights, t.grads, t.spec,
-                              out_sparsity[(int)op]);
+                              out_sparsity[(int)op], parts);
         cell.energy_base = accel.energy(cell.op, false);
         cell.energy_td = accel.energy(cell.op, true);
     }
+    if (fission_subtasks && accel.fissionSubtasks())
+        fission_subtasks->fetch_add(accel.fissionSubtasks(),
+                                    std::memory_order_relaxed);
 }
 
 /**
@@ -409,6 +474,11 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     // geometry variants share keys, and only the first task of a key
     // actually synthesizes when the cache is on.
     std::unordered_set<uint64_t> charged_synth;
+    // Exact-tier per-op cost statistics: the fission threshold is a
+    // multiple of the grid's mean per-op simulation cost, so "giant"
+    // is always relative to the run at hand.
+    double exact_op_cost = 0.0;
+    size_t exact_op_cells = 0;
     for (size_t v = 0; v < grid.variant_configs.size(); ++v) {
         const RunConfig &config = grid.variant_configs[v];
         std::span<const TrainOp> ops = phaseOps(config.phase);
@@ -449,10 +519,16 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
                          charged_synth.insert(skey).second))
                         cost = synthesisCost(model->layers[l],
                                              model->batch);
-                    for (TrainOp op : ops)
-                        cost += OpEstimator::estimateSimCost(
+                    for (TrainOp op : ops) {
+                        double op_cost = OpEstimator::estimateSimCost(
                             accel_cfg, model->layers[l],
                             model->batch, op, sp);
+                        cost += op_cost;
+                        if (!estimate) {
+                            exact_op_cost += op_cost;
+                            ++exact_op_cells;
+                        }
+                    }
                     tasks.push_back({units.size(), l, tasks.size(),
                                      keys.size(), skey, cost});
                     for (TrainOp op : ops)
@@ -493,6 +569,22 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     const std::string cache_dir =
         store ? ResultStore::resolveDir(exec.cache_dir) : "";
 
+    // Fission plan for this run: resolved once from the execution
+    // config (threshold multiplier x grid mean per-op cost) and shared
+    // read-only by every task.  A serial run (threads == 1) keeps
+    // max_parts at 1 and never splits.
+    FissionPolicy fission;
+    const double fission_mult =
+        resolveFissionMultiplier(exec.fission_threshold);
+    if (fission_mult > 0.0 && exact_op_cells > 0) {
+        fission.threshold =
+            exact_op_cost / (double)exact_op_cells * fission_mult;
+        fission.max_parts = exec.threads > 0
+            ? exec.threads
+            : ThreadPool::shared().size();
+    }
+    std::atomic<uint64_t> fission_subtasks{0};
+
     // Run pass: one stateless task per owned layer.  Each op cell
     // consults the result store independently — a layer whose Forward
     // cell is warm (say, from a training sweep feeding this inference
@@ -529,7 +621,8 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
                                     &out);
                 else
                     simulateTaskOps(grid, unit, task, ops, missing,
-                                    synth_cache, &out);
+                                    synth_cache, fission,
+                                    &fission_subtasks, &out);
                 std::atomic<size_t> &produced =
                     estimate ? estimated : simulated;
                 for (size_t j = 0; j < ops.size(); ++j) {
@@ -548,6 +641,7 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     sweep.cache_hits = cache_hits.load();
     sweep.simulated = simulated.load();
     sweep.estimated = estimated.load();
+    sweep.fission_subtasks = (size_t)fission_subtasks.load();
 
     // Reduce: merge in serial (layer, op) order, making the aggregates
     // bit-identical to a single-threaded, uncached, unsharded run.  A
@@ -902,6 +996,7 @@ SweepResult::merge(const SweepResult &other)
     cache_hits += other.cache_hits;
     simulated += other.simulated;
     estimated += other.estimated;
+    fission_subtasks += other.fission_subtasks;
     if (complete()) {
         shard = Shard{};
         reduce();

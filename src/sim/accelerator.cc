@@ -1,8 +1,10 @@
 #include "sim/accelerator.hh"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "sim/memory/compressing_dma.hh"
 #include "sim/memory/transposer.hh"
 
@@ -78,8 +80,8 @@ Accelerator::Accelerator(const AcceleratorConfig &config)
 }
 
 OpResult
-Accelerator::runOp(const LoweredOp &lowered,
-                   const std::string &gate_key) const
+Accelerator::runOp(const LoweredOp &lowered, GateOperand gate,
+                   int fission_parts) const
 {
     OpResult result;
     result.op = lowered.op;
@@ -88,21 +90,60 @@ Accelerator::runOp(const LoweredOp &lowered,
     result.mac_slots = (double)lowered.total_mac_slots;
 
     bool sparse_enabled = true;
-    if (config_.power_gating && !gate_key.empty())
-        sparse_enabled = gate_.enabled(gate_key);
+    if (config_.power_gating && gate != GateOperand::None)
+        sparse_enabled = gate_.enabled(gateOperandName(gate));
     result.gated = !sparse_enabled;
+
+    size_t njobs = lowered.jobs.size();
+    size_t parts = std::min((size_t)std::max(fission_parts, 1), njobs);
 
     double base_cycles = 0.0;
     double td_cycles = 0.0;
     TileStats stats;
-    for (const TileJob &job : lowered.jobs) {
-        uint64_t dense = Tile::baselineCycles(job);
-        base_cycles += (double)dense * job.weight;
-        if (sparse_enabled) {
-            uint64_t cycles = tile_.run(job, stats);
-            td_cycles += (double)cycles * job.weight;
-        } else {
-            td_cycles += (double)dense * job.weight;
+    if (sparse_enabled && parts > 1) {
+        // Intra-op fission: contiguous job ranges run as subtasks on
+        // the shared pool, each with its own Tile (the staging scratch
+        // makes tiles non-shareable).  Bit-identity with the serial
+        // loop needs care with floating point: every job's weighted
+        // cycle product lands in its own pre-sized slot and the double
+        // sums reduce serially in job order below, so any part count
+        // or thread count reproduces the serial sum exactly.  The
+        // uint64 TileStats counters are associative, so per-part
+        // accumulators merged in part order are already exact.
+        std::vector<double> job_td(njobs, 0.0);
+        std::vector<TileStats> part_stats(parts);
+        ThreadPool::shared().parallelFor(
+            parts,
+            [&](size_t part) {
+                size_t lo = njobs * part / parts;
+                size_t hi = njobs * (part + 1) / parts;
+                Tile tile(config_.tile);
+                for (size_t j = lo; j < hi; ++j) {
+                    const TileJob &job = lowered.jobs[j];
+                    uint64_t cycles = tile.run(job, part_stats[part]);
+                    job_td[j] = (double)cycles * job.weight;
+                }
+            },
+            (int)parts);
+        fission_subtasks_ += parts;
+        for (size_t j = 0; j < njobs; ++j) {
+            const TileJob &job = lowered.jobs[j];
+            base_cycles +=
+                (double)Tile::baselineCycles(job) * job.weight;
+            td_cycles += job_td[j];
+        }
+        for (const TileStats &part : part_stats)
+            stats.merge(part);
+    } else {
+        for (const TileJob &job : lowered.jobs) {
+            uint64_t dense = Tile::baselineCycles(job);
+            base_cycles += (double)dense * job.weight;
+            if (sparse_enabled) {
+                uint64_t cycles = tile_.run(job, stats);
+                td_cycles += (double)cycles * job.weight;
+            } else {
+                td_cycles += (double)dense * job.weight;
+            }
         }
     }
 
@@ -130,14 +171,15 @@ Accelerator::runOp(const LoweredOp &lowered,
 OpResult
 Accelerator::runConvOp(TrainOp op, const Tensor &acts,
                        const Tensor &weights, const Tensor &out_grads,
-                       const ConvSpec &spec, double out_sparsity) const
+                       const ConvSpec &spec, double out_sparsity,
+                       int fission_parts) const
 {
     Dataflow dataflow(config_.dataflow(false));
     LoweredOp lowered;
     uint64_t in0_nz = 0, in0_total = 0, in1_nz = 0, in1_total = 0;
     uint64_t out_total = 0;
     uint64_t transposed = 0;
-    std::string gate_key;
+    GateOperand gate = GateOperand::None;
 
     switch (op) {
       case TrainOp::Forward:
@@ -148,7 +190,8 @@ Accelerator::runConvOp(TrainOp op, const Tensor &acts,
         in1_nz = weights.nonzeros();
         in1_total = weights.size();
         out_total = lowered.out_shape.size();
-        gate_key = lowered.b_is_default_side ? "acts" : "weights";
+        gate = lowered.b_is_default_side ? GateOperand::Acts
+                                         : GateOperand::Weights;
         break;
       case TrainOp::BackwardData:
         lowered = dataflow.lowerBackwardData(out_grads, weights,
@@ -161,7 +204,8 @@ Accelerator::runConvOp(TrainOp op, const Tensor &acts,
         out_total = lowered.out_shape.size();
         // The reconstructed filters pass through the transposers.
         transposed = weights.size();
-        gate_key = lowered.b_is_default_side ? "grads" : "weights";
+        gate = lowered.b_is_default_side ? GateOperand::Grads
+                                         : GateOperand::Weights;
         break;
       case TrainOp::BackwardWeights:
         lowered = dataflow.lowerBackwardWeights(
@@ -174,11 +218,12 @@ Accelerator::runConvOp(TrainOp op, const Tensor &acts,
         out_total = lowered.out_shape.size();
         // Gradients are re-bundled per filter (transposed layout).
         transposed = out_grads.size();
-        gate_key = lowered.wg_b_is_gradients ? "grads" : "acts";
+        gate = lowered.wg_b_is_gradients ? GateOperand::Grads
+                                         : GateOperand::Acts;
         break;
     }
 
-    OpResult result = runOp(lowered, gate_key);
+    OpResult result = runOp(lowered, gate, fission_parts);
     applyMemory(result, memoryDemand(in0_nz, in0_total, in1_nz,
                                      in1_total, out_total, out_sparsity,
                                      transposed));
@@ -188,14 +233,14 @@ Accelerator::runConvOp(TrainOp op, const Tensor &acts,
 OpResult
 Accelerator::runFcOp(TrainOp op, const Tensor &acts,
                      const Tensor &weights, const Tensor &out_grads,
-                     double out_sparsity) const
+                     double out_sparsity, int fission_parts) const
 {
     Dataflow dataflow(config_.dataflow(false));
     LoweredOp lowered;
     uint64_t in0_nz = 0, in0_total = 0, in1_nz = 0, in1_total = 0;
     uint64_t out_total = 0;
     uint64_t transposed = 0;
-    std::string gate_key;
+    GateOperand gate = GateOperand::None;
 
     // Operand accounting mirrors runConvOp: an FC layer moves the same
     // tensors, only the lowering skips the spatial index math.
@@ -208,7 +253,8 @@ Accelerator::runFcOp(TrainOp op, const Tensor &acts,
         in1_nz = weights.nonzeros();
         in1_total = weights.size();
         out_total = lowered.out_shape.size();
-        gate_key = lowered.b_is_default_side ? "acts" : "weights";
+        gate = lowered.b_is_default_side ? GateOperand::Acts
+                                         : GateOperand::Weights;
         break;
       case TrainOp::BackwardData:
         lowered = dataflow.lowerFcBackwardData(out_grads, weights,
@@ -221,7 +267,8 @@ Accelerator::runFcOp(TrainOp op, const Tensor &acts,
         out_total = lowered.out_shape.size();
         // The transposed weight matrix passes through the transposers.
         transposed = weights.size();
-        gate_key = lowered.b_is_default_side ? "grads" : "weights";
+        gate = lowered.b_is_default_side ? GateOperand::Grads
+                                         : GateOperand::Weights;
         break;
       case TrainOp::BackwardWeights:
         lowered = dataflow.lowerFcBackwardWeights(out_grads, acts,
@@ -233,11 +280,12 @@ Accelerator::runFcOp(TrainOp op, const Tensor &acts,
         out_total = lowered.out_shape.size();
         // Gradients are re-bundled per feature (transposed layout).
         transposed = out_grads.size();
-        gate_key = lowered.wg_b_is_gradients ? "grads" : "acts";
+        gate = lowered.wg_b_is_gradients ? GateOperand::Grads
+                                         : GateOperand::Acts;
         break;
     }
 
-    OpResult result = runOp(lowered, gate_key);
+    OpResult result = runOp(lowered, gate, fission_parts);
     applyMemory(result, memoryDemand(in0_nz, in0_total, in1_nz,
                                      in1_total, out_total, out_sparsity,
                                      transposed));

@@ -17,6 +17,7 @@
  */
 
 #include <cstdint>
+#include <string_view>
 
 #include "sim/area_model.hh"
 #include "sim/dataflow.hh"
@@ -29,6 +30,37 @@
 #include "tensor/tensor.hh"
 
 namespace tensordash {
+
+/**
+ * Which operand's power-gate counter governs an op's sparse front end.
+ * A plain enum rather than a string key so the per-op hot path never
+ * allocates; conversion to the PowerGateController's string table keys
+ * happens only at the lookup boundary (gateOperandName).
+ */
+enum class GateOperand : uint8_t
+{
+    None, ///< never gate
+    Acts,
+    Grads,
+    Weights,
+};
+
+/** PowerGateController table key for @p operand (empty for None). */
+constexpr std::string_view
+gateOperandName(GateOperand operand)
+{
+    switch (operand) {
+      case GateOperand::Acts:
+        return "acts";
+      case GateOperand::Grads:
+        return "grads";
+      case GateOperand::Weights:
+        return "weights";
+      case GateOperand::None:
+        break;
+    }
+    return {};
+}
 
 /** Full accelerator configuration. */
 struct AcceleratorConfig
@@ -210,13 +242,19 @@ class Accelerator
     /**
      * Run one lowered operation (performance mode).
      *
-     * @param lowered  sampled tile jobs
-     * @param gate_key power-gating identity of the scheduled operand
-     *                 ("" = never gate)
+     * @param lowered       sampled tile jobs
+     * @param gate          power-gating identity of the scheduled
+     *                      operand (None = never gate)
+     * @param fission_parts split the job list into up to this many
+     *                      contiguous subtask ranges run on the shared
+     *                      ThreadPool, each with its own Tile.  Results
+     *                      are bit-identical to the serial loop for any
+     *                      value (<= 1: run serially).
      * @return cycle counts and tile-side activity
      */
     OpResult runOp(const LoweredOp &lowered,
-                   const std::string &gate_key = "") const;
+                   GateOperand gate = GateOperand::None,
+                   int fission_parts = 1) const;
 
     /**
      * Lower and run one convolution training op including the memory
@@ -229,11 +267,12 @@ class Accelerator
      * @param spec          stride/padding
      * @param out_sparsity  estimated zero fraction of the op's output
      *                      (used to size the compressed write-back)
+     * @param fission_parts forwarded to runOp
      */
     OpResult runConvOp(TrainOp op, const Tensor &acts,
                        const Tensor &weights, const Tensor &out_grads,
-                       const ConvSpec &spec,
-                       double out_sparsity = 0.0) const;
+                       const ConvSpec &spec, double out_sparsity = 0.0,
+                       int fission_parts = 1) const;
 
     /**
      * Lower and run one matmul/fully-connected training op including
@@ -247,10 +286,12 @@ class Accelerator
      * @param weights       W (F, C, 1, 1)
      * @param out_grads     GO (N, F, 1, 1); may be empty for Forward
      * @param out_sparsity  estimated zero fraction of the op's output
+     * @param fission_parts forwarded to runOp
      */
     OpResult runFcOp(TrainOp op, const Tensor &acts,
                      const Tensor &weights, const Tensor &out_grads,
-                     double out_sparsity = 0.0) const;
+                     double out_sparsity = 0.0,
+                     int fission_parts = 1) const;
 
     /**
      * Functional run: exhaustive lowering with values, producing the
@@ -263,6 +304,9 @@ class Accelerator
 
     /** The energy model in use. */
     const EnergyModel &energyModel() const { return energy_model_; }
+
+    /** Fission subtasks launched so far (0 when nothing was split). */
+    uint64_t fissionSubtasks() const { return fission_subtasks_; }
 
   private:
     /** Off-chip traffic of one op, identical for baseline and
@@ -287,6 +331,9 @@ class Accelerator
     AcceleratorConfig config_;
     /** Scratch-carrying cycle model; results don't depend on it. */
     mutable Tile tile_;
+    /** Bookkeeping only (never part of a result); mutable like the
+     * tile scratch — an Accelerator is single-threaded by contract. */
+    mutable uint64_t fission_subtasks_ = 0;
     EnergyModel energy_model_;
     PowerGateController gate_;
 };

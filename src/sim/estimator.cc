@@ -732,6 +732,16 @@ OpEstimator::estimateSimCost(const AcceleratorConfig &config,
                              const LayerSpec &layer, int batch,
                              TrainOp op, const CellSparsity &sparsity)
 {
+    return estimateSimCostDetail(config, layer, batch, op, sparsity)
+        .cost;
+}
+
+OpEstimator::SimCostDetail
+OpEstimator::estimateSimCostDetail(const AcceleratorConfig &config,
+                                   const LayerSpec &layer, int batch,
+                                   TrainOp op,
+                                   const CellSparsity &sparsity)
+{
     OpGeom g = resolveOpGeom(config, layer, batch, op, sparsity);
     JobGrid jg = resolveJobGrid(config, g);
     const TileConfig &tile = config.tile;
@@ -755,7 +765,10 @@ OpEstimator::estimateSimCost(const AcceleratorConfig &config,
                    curveParams(tile.interconnect));
     double schedule = 2.2 * sampled * steps * eff * mean_rows * lanes;
 
-    return gather + schedule;
+    SimCostDetail detail;
+    detail.cost = gather + schedule;
+    detail.sampled_jobs = sampled;
+    return detail;
 }
 
 } // namespace tensordash

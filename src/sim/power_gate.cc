@@ -18,7 +18,9 @@ void
 PowerGateController::freezeFrom(const GateObservations &observations)
 {
     TD_ASSERT(!frozen_, "freezeFrom() on a frozen PowerGateController");
-    observed_ = observations.sparsity;
+    observed_.clear();
+    observed_.insert(observations.sparsity.begin(),
+                     observations.sparsity.end());
     frozen_ = true;
 }
 
@@ -26,7 +28,7 @@ GateObservations
 PowerGateController::observations() const
 {
     GateObservations obs;
-    obs.sparsity = observed_;
+    obs.sparsity.insert(observed_.begin(), observed_.end());
     return obs;
 }
 

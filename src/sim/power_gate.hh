@@ -30,6 +30,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace tensordash {
 
@@ -89,7 +90,7 @@ class PowerGateController
      * runs with the front end on and trains the counters).
      */
     bool
-    enabled(const std::string &key) const
+    enabled(std::string_view key) const
     {
         auto it = observed_.find(key);
         if (it == observed_.end())
@@ -99,7 +100,7 @@ class PowerGateController
 
     /** Last observed sparsity, or -1 when unknown. */
     double
-    lastObserved(const std::string &key) const
+    lastObserved(std::string_view key) const
     {
         auto it = observed_.find(key);
         return it == observed_.end() ? -1.0 : it->second;
@@ -116,7 +117,8 @@ class PowerGateController
   private:
     double min_sparsity_;
     bool frozen_ = false;
-    std::map<std::string, double> observed_;
+    /** Transparent comparator: string_view lookups don't allocate. */
+    std::map<std::string, double, std::less<>> observed_;
 };
 
 } // namespace tensordash

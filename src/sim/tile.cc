@@ -13,8 +13,6 @@ Tile::Tile(const TileConfig &config)
 {
     TD_ASSERT(config.rows >= 1 && config.cols >= 1,
               "tile needs at least one row and one column");
-    pending_.assign(config.rows,
-                    std::vector<uint32_t>(config.depth, 0));
 }
 
 uint64_t
@@ -48,34 +46,46 @@ Tile::run(const TileJob &job, TileStats &stats,
     }
 
     const int depth = config_.depth;
+
+    // Materialise every row's mask stream once; the staging window is
+    // then a sliding view masks[base .. base+valid) mutated in place.
+    // Scheduler picks clear bits inside the window and a step is never
+    // read again once the base advances past it, so the per-cycle
+    // shift-and-refill of a depth-deep buffer disappears entirely.
+    masks_.resize((size_t)nrows * steps);
+    for (int r = 0; r < nrows; ++r) {
+        uint32_t *dst = masks_.data() + (size_t)r * steps;
+        for (int s = 0; s < steps; ++s)
+            dst[s] = job.b[r].nzMask(s);
+    }
     int base = 0;
-    auto validAt = [&](int b_pos) {
-        return std::min(depth, steps - b_pos);
-    };
-    int valid = validAt(0);
-    for (int r = 0; r < nrows; ++r)
-        for (int s = 0; s < depth; ++s)
-            pending_[r][s] = s < valid ? job.b[r].nzMask(s) : 0;
 
     uint64_t cycles = 0;
     Schedule sched;
     while (base < steps) {
         ++cycles;
-        valid = validAt(base);
+        int valid = std::min(depth, steps - base);
+        uint32_t *win = masks_.data() + base;
         int total_picks = 0;
         int advance = valid;
         for (int r = 0; r < nrows; ++r) {
-            sched = scheduler_.schedule(pending_[r].data(), valid);
+            uint32_t *p = win + (size_t)r * steps;
+            sched = scheduler_.schedule(p, valid);
             total_picks += sched.picks;
             stats.mult_ops += (uint64_t)sched.picks * ncols;
             stats.idle_mult_slots +=
                 (uint64_t)(config_.lanes - sched.picks) * ncols;
-            for (int lane = 0; lane < config_.lanes; ++lane) {
+            // The pick-count gate skips the whole lane walk when a
+            // drained (or unreachable) window selected nothing, so
+            // high-sparsity stretches stop paying for `lanes`
+            // idle-select checks every cycle.
+            for (int lane = 0; sched.picks > 0 && lane < config_.lanes;
+                 ++lane) {
                 int idx = sched.select[lane];
                 if (idx < 0)
                     continue;
                 const MoveOption &opt = pattern_.options(lane)[idx];
-                pending_[r][opt.step] &= ~(1u << opt.lane);
+                p[opt.step] &= ~(1u << opt.lane);
                 if (outputs) {
                     int row_abs = base + opt.step;
                     float bv = job.b[r].value(row_abs, opt.lane);
@@ -87,8 +97,11 @@ Tile::run(const TileJob &job, TileStats &stats,
                 }
             }
             // AS for this row: leading fully consumed window rows.
+            // (The early-exit scan measured faster than building an
+            // occupancy bitmask for a count-trailing-zeros pass: it
+            // usually stops on its first or second probe.)
             int as = 0;
-            while (as < valid && pending_[r][as] == 0)
+            while (as < valid && p[as] == 0)
                 ++as;
             advance = std::min(advance, as);
         }
@@ -96,17 +109,7 @@ Tile::run(const TileJob &job, TileStats &stats,
                   "tile made no progress at step base %d", base);
         if (advance < valid && advance < depth)
             ++stats.stall_cycles;
-        if (advance > 0) {
-            base += advance;
-            int new_valid = validAt(base);
-            for (int r = 0; r < nrows; ++r) {
-                auto &p = pending_[r];
-                for (int s = advance; s < depth; ++s)
-                    p[s - advance] = p[s];
-                for (int s = depth - advance; s < depth; ++s)
-                    p[s] = s < new_valid ? job.b[r].nzMask(base + s) : 0;
-            }
-        }
+        base += advance;
     }
 
     stats.cycles += cycles;

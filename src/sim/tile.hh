@@ -129,8 +129,14 @@ class Tile
     MuxPattern pattern_;
     HierarchicalScheduler scheduler_;
 
-    // Per-row scratch state reused across run() calls.
-    std::vector<std::vector<uint32_t>> pending_;
+    // Mask scratch reused across run() calls: every B stream's
+    // nonzero masks are materialised once into one flat rows x steps
+    // block, and the staging window is a sliding view into it mutated
+    // in place — a step leaves the window for good once the base
+    // passes it, so there is no per-cycle shift or refill.  Fully
+    // rewritten at the start of every run (for the rows the job
+    // uses), so runs never depend on earlier ones.
+    std::vector<uint32_t> masks_;
 };
 
 } // namespace tensordash

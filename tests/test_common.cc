@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -269,15 +272,75 @@ TEST(ThreadPool, PropagatesTheFirstBodyException)
     EXPECT_GE(ran.load(), 1);
 }
 
-TEST(ThreadPool, NestedParallelForRunsInline)
+TEST(ThreadPool, NestedParallelForCoversEveryIndex)
 {
+    // A body that fans out again must not deadlock or drop indices:
+    // the nested call publishes its own job (idle workers may help)
+    // and the submitting thread drives its range to completion.
     ThreadPool pool(4);
     std::atomic<int> total{0};
-    pool.parallelFor(8, [&](size_t) {
-        // A body that fans out again must not deadlock; it runs inline.
-        pool.parallelFor(8, [&](size_t) { ++total; });
+    std::vector<std::array<std::atomic<int>, 8>> hits(8);
+    pool.parallelFor(8, [&](size_t outer) {
+        pool.parallelFor(8, [&](size_t inner) {
+            ++hits[outer][inner];
+            ++total;
+        });
     });
     EXPECT_EQ(total.load(), 64);
+    for (auto &row : hits)
+        for (auto &h : row)
+            EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForOnSingleThreadPoolRunsInline)
+{
+    // The no-deadlock regression: a 1-thread pool has no helpers, so a
+    // nested submit must degrade to the caller running its whole range
+    // inline, in index order, without ever blocking on a worker.
+    ThreadPool pool(1);
+    std::vector<std::pair<size_t, size_t>> order;
+    pool.parallelFor(3, [&](size_t outer) {
+        pool.parallelFor(3, [&](size_t inner) {
+            order.emplace_back(outer, inner);
+        });
+    });
+    ASSERT_EQ(order.size(), 9u);
+    for (size_t i = 0; i < order.size(); ++i) {
+        EXPECT_EQ(order[i].first, i / 3);
+        EXPECT_EQ(order[i].second, i % 3);
+    }
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions)
+{
+    ThreadPool pool(4);
+    std::atomic<int> outer_failures{0};
+    pool.parallelFor(4, [&](size_t) {
+        try {
+            pool.parallelFor(8, [&](size_t i) {
+                if (i == 5)
+                    throw std::runtime_error("inner boom");
+            });
+        } catch (const std::runtime_error &) {
+            ++outer_failures;
+        }
+    });
+    EXPECT_EQ(outer_failures.load(), 4);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelParallelForCalls)
+{
+    // Independent jobs published from different threads coexist on one
+    // pool; each call sees exactly its own range.
+    ThreadPool pool(4);
+    std::array<std::atomic<int>, 2> totals{};
+    std::thread other([&] {
+        pool.parallelFor(100, [&](size_t) { ++totals[0]; });
+    });
+    pool.parallelFor(100, [&](size_t) { ++totals[1]; });
+    other.join();
+    EXPECT_EQ(totals[0].load(), 100);
+    EXPECT_EQ(totals[1].load(), 100);
 }
 
 TEST(ThreadPool, GrowsToHonourExplicitParallelism)

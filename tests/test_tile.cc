@@ -332,5 +332,29 @@ TEST(Tile, StatsRowFetchAccounting)
     EXPECT_EQ(stats.dense_cycles, 10u);
 }
 
+TEST(Tile, MultSlotAccountingClosesEveryCycle)
+{
+    // Every cycle charges each of the job's rows exactly lanes x ncols
+    // multiplier slots, split between mult_ops and idle_mult_slots —
+    // including rows whose window was entirely zero (the fast path that
+    // skips the scheduler call must keep the ledger balanced).  The
+    // invariant per job: mult_ops + idle_mult_slots ==
+    // lanes x cycles x ncols x nrows.
+    Rng rng(11);
+    for (double sparsity : {0.0, 0.5, 0.9, 1.0}) {
+        for (int rows : {1, 4}) {
+            TileConfig cfg;
+            cfg.rows = rows;
+            Tile tile(cfg);
+            TileJob job = randomJob(rng, cfg, 40, sparsity, 0.0, false);
+            TileStats stats;
+            uint64_t cycles = tile.run(job, stats);
+            EXPECT_EQ(stats.mult_ops + stats.idle_mult_slots,
+                      (uint64_t)cfg.lanes * cycles * cfg.cols * rows)
+                << "sparsity=" << sparsity << " rows=" << rows;
+        }
+    }
+}
+
 } // namespace
 } // namespace tensordash
