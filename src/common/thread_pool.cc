@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace tensordash {
@@ -101,16 +101,9 @@ ThreadPool::size() const
 int
 ThreadPool::defaultThreadCount()
 {
-    if (const char *env = std::getenv("TD_THREADS")) {
-        char *end = nullptr;
-        long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1 && v <= 4096)
-            return (int)v;
-        TD_WARN("ignoring invalid TD_THREADS='%s' "
-                "(want an integer in [1, 4096])", env);
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? (int)hw : 1;
+    return (int)env::intKnob("TD_THREADS", 1, kMaxThreads,
+                             hw > 0 ? (long)hw : 1);
 }
 
 ThreadPool &

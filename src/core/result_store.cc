@@ -1,7 +1,6 @@
 #include "core/result_store.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <ctime>
 #include <filesystem>
 #include <limits>
@@ -9,6 +8,7 @@
 
 #include <sys/stat.h>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace tensordash {
@@ -247,9 +247,7 @@ ResultStore::resolveDir(const std::string &configured)
 {
     if (!configured.empty())
         return configured;
-    if (const char *env = std::getenv("TD_CACHE"))
-        return env;
-    return "";
+    return env::stringKnob("TD_CACHE");
 }
 
 } // namespace tensordash

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
 #include <unordered_set>
 #include <utility>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
@@ -37,6 +40,10 @@ constexpr uint64_t kEstimateKeySalt = 0x31747365;
  * and low enough that a typo'd axis cannot allocate a giant grid.
  */
 constexpr size_t kMaxVariants = 1 << 20;
+
+// SweepResult::present packs one bit per phase op into a byte.
+static_assert(kMaxPhaseOps <= 8,
+              "present masks hold at most 8 op cells per slot");
 
 /**
  * Fully expanded description of one task grid, borrowed from the
@@ -138,15 +145,8 @@ resolveFissionMultiplier(double config_value)
 {
     if (config_value >= 0.0)
         return config_value;
-    if (const char *env = std::getenv("TD_FISSION")) {
-        char *end = nullptr;
-        double v = std::strtod(env, &end);
-        if (end != env && *end == '\0' && v >= 0.0)
-            return v;
-        TD_WARN("ignoring invalid TD_FISSION='%s' "
-                "(want a multiplier >= 0)", env);
-    }
-    return 4.0;
+    return env::doubleKnob("TD_FISSION", 0.0,
+                           std::numeric_limits<double>::max(), 4.0);
 }
 
 /** Synthesis volume of one layer's tensors (elements of acts +
@@ -375,13 +375,169 @@ gridFingerprint(const GridLayout &grid,
 }
 
 /**
+ * Fully enumerated task grid: the serial layout pass shared by
+ * execution (runGrid) and planning (ModelRunner::planSweep).  Owns
+ * the storage its SweepUnits point into (forked Rng streams and
+ * batch-overridden model copies), so units must not outlive it.
+ */
+struct GridEnumeration
+{
+    std::vector<std::vector<Rng>> grid_rngs;
+    std::vector<ModelProfile> batch_models;
+    std::vector<SweepUnit> units;
+    std::vector<SimTask> tasks;
+    std::vector<TaskKey> keys;
+
+    /** Per-op estimated simulation cost of every cell, in key order. */
+    std::vector<double> cell_costs;
+
+    /** Synthesis volume charged per slot (0 for reusers of an
+     * already-charged SynthKey when the synthesis cache is on). */
+    std::vector<double> task_synth_costs;
+
+    /** Exact-tier per-op cost statistics (fission threshold base). */
+    double exact_op_cost = 0.0;
+    size_t exact_op_cells = 0;
+};
+
+/**
+ * Lay out the (variant x model x progress x layer) task grid and
+ * fingerprint every (layer, op) cell under its variant's effective
+ * config and phase.  Keys and claim costs are computed serially up
+ * front: they are cheap relative to simulation and the sweep
+ * fingerprint needs every key.  @p synth_cache_on selects the
+ * synthesis cost model: with the cache on only the first task of each
+ * SynthKey pays synthesis (its geometry siblings reuse the tensors),
+ * with it off every exact task does.
+ */
+GridEnumeration
+enumerateGrid(const GridLayout &grid, bool synth_cache_on)
+{
+    GridEnumeration e;
+
+    // Full structural validation (positive shapes, well-formed output
+    // geometry), not just non-emptiness: a bad layer spec fails here
+    // with its model and layer named instead of deep in synthesis or
+    // lowering.
+    for (const ModelProfile &model : grid.models)
+        model.validate();
+
+    // Fork the per-layer streams in serial layer order, which makes
+    // synthesis independent of task execution order.  One vector per
+    // (variant, model): an axis may move the seed, and every variant's
+    // streams must match what a single-variant run of its config
+    // forks.
+    e.grid_rngs.reserve(grid.variant_configs.size() *
+                        grid.models.size());
+    for (const RunConfig &config : grid.variant_configs) {
+        for (const ModelProfile &model : grid.models) {
+            Rng rng(config.seed * 0x2545f4914f6cdd1dull + 1);
+            std::vector<Rng> layer_rngs;
+            layer_rngs.reserve(model.layers.size());
+            for (size_t l = 0; l < model.layers.size(); ++l)
+                layer_rngs.push_back(rng.fork());
+            e.grid_rngs.push_back(std::move(layer_rngs));
+        }
+    }
+
+    // Materialise effective models where a variant overrides the
+    // batch: synthesis, claim costs and simulation must all see the
+    // effective batch (TaskKey derives it from the config on its
+    // own).  Storage is reserved exactly, so the units' model
+    // pointers stay valid as it fills.
+    size_t overridden = 0;
+    for (const RunConfig &config : grid.variant_configs)
+        if (config.batch_override > 0)
+            for (const ModelProfile &model : grid.models)
+                overridden += config.batch_override != model.batch;
+    e.batch_models.reserve(overridden);
+
+    // SynthKeys whose synthesis cost has been charged to a task:
+    // geometry variants share keys, and only the first task of a key
+    // actually synthesizes when the cache is on.
+    std::unordered_set<uint64_t> charged_synth;
+    for (size_t v = 0; v < grid.variant_configs.size(); ++v) {
+        const RunConfig &config = grid.variant_configs[v];
+        std::span<const TrainOp> ops = phaseOps(config.phase);
+        const bool estimate = config.fidelity == Fidelity::Estimate;
+        for (size_t m = 0; m < grid.models.size(); ++m) {
+            const ModelProfile *model = &grid.models[m];
+            if (config.batch_override > 0 &&
+                config.batch_override != model->batch) {
+                e.batch_models.push_back(*model);
+                e.batch_models.back().batch = config.batch_override;
+                model = &e.batch_models.back();
+            }
+            AcceleratorConfig accel_cfg = config.accel;
+            accel_cfg.wg_side = model->wg_side;
+            for (double progress : grid.points) {
+                SweepUnit unit;
+                unit.model = model;
+                unit.config = &config;
+                unit.progress = progress;
+                unit.first_task = e.tasks.size();
+                unit.layer_rngs =
+                    &e.grid_rngs[v * grid.models.size() + m];
+                for (size_t l = 0; l < model->layers.size(); ++l) {
+                    CellSparsity sp =
+                        effectiveCellSparsity(*model, l, progress);
+                    uint64_t skey =
+                        SynthKey::forCell(config, grid.models[m], l,
+                                          progress,
+                                          grid.synthesis_salt)
+                            .value;
+                    // Estimate-tier tasks never synthesize; exact
+                    // tasks pay synthesis once per key when the cache
+                    // is on (every reuser rides the first task's
+                    // tensors), or always when it is off.
+                    double synth_cost = 0.0;
+                    if (!estimate &&
+                        (!synth_cache_on ||
+                         charged_synth.insert(skey).second))
+                        synth_cost = synthesisCost(model->layers[l],
+                                                   model->batch);
+                    double cost = synth_cost;
+                    for (TrainOp op : ops) {
+                        double op_cost = OpEstimator::estimateSimCost(
+                            accel_cfg, model->layers[l],
+                            model->batch, op, sp);
+                        e.cell_costs.push_back(op_cost);
+                        cost += op_cost;
+                        if (!estimate) {
+                            e.exact_op_cost += op_cost;
+                            ++e.exact_op_cells;
+                        }
+                    }
+                    e.task_synth_costs.push_back(synth_cost);
+                    e.tasks.push_back({e.units.size(), l,
+                                       e.tasks.size(), e.keys.size(),
+                                       skey, cost});
+                    for (TrainOp op : ops)
+                        e.keys.push_back(TaskKey::forOp(
+                            config, grid.models[m], l, op, progress,
+                            grid.synthesis_salt,
+                            grid.estimate_out_sparsity));
+                }
+                e.units.push_back(unit);
+            }
+        }
+    }
+    return e;
+}
+
+/**
  * Simulate one fully expanded task grid: the shared engine behind
- * runMany() and runSweep().  @p exec supplies the execution knobs
- * (threads, cache, cache_dir); what is simulated comes entirely from
- * @p grid's per-variant configs.
+ * runMany(), runSweep() and runSweepCells().  @p exec supplies the
+ * execution knobs (threads, cache, cache_dir); what is simulated
+ * comes entirely from @p grid's per-variant configs.  Ownership comes
+ * from @p shard (modulo partition over layer slots) or — when
+ * @p cell_mode — from @p cells, global op-cell indices that may split
+ * one layer slot across runs.
  */
 SweepResult
-runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
+runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard,
+        bool cell_mode, std::span<const size_t> cells,
+        const RunHooks &hooks)
 {
     // A negative thread count would silently degrade to "whole pool"
     // inside the pool sizing path; reject it here where the request
@@ -391,6 +547,10 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
               "RunConfig::threads must be >= 0 (0 = the shared pool "
               "default), got %d", exec.threads);
     shard.validate();
+    if (cell_mode)
+        TD_ASSERT(shard.all(),
+                  "explicit cell ownership and shard partitioning "
+                  "are mutually exclusive");
     for (const RunConfig &config : grid.variant_configs)
         TD_ASSERT(config.fidelity == Fidelity::Exact ||
                       grid.synthesize == nullptr,
@@ -411,47 +571,10 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
         sweep.variant_phases.push_back(grid.variant_configs[v].phase);
     }
     for (const ModelProfile &model : grid.models) {
-        // Full structural validation (positive shapes, well-formed
-        // output geometry), not just non-emptiness: a bad layer spec
-        // fails here with its model and layer named instead of deep in
-        // synthesis or lowering.
-        model.validate();
         sweep.models.push_back(model.name);
         sweep.model_layer_counts.push_back(
             (uint32_t)model.layers.size());
     }
-
-    // Fork the per-layer streams in serial layer order, which makes
-    // synthesis independent of task execution order.  One vector per
-    // (variant, model): an axis may move the seed, and every variant's
-    // streams must match what a single-variant run of its config
-    // forks.
-    std::vector<std::vector<Rng>> grid_rngs;
-    grid_rngs.reserve(grid.variant_configs.size() *
-                      grid.models.size());
-    for (const RunConfig &config : grid.variant_configs) {
-        for (const ModelProfile &model : grid.models) {
-            Rng rng(config.seed * 0x2545f4914f6cdd1dull + 1);
-            std::vector<Rng> layer_rngs;
-            layer_rngs.reserve(model.layers.size());
-            for (size_t l = 0; l < model.layers.size(); ++l)
-                layer_rngs.push_back(rng.fork());
-            grid_rngs.push_back(std::move(layer_rngs));
-        }
-    }
-
-    // Materialise effective models where a variant overrides the
-    // batch: synthesis, claim costs and simulation must all see the
-    // effective batch (TaskKey derives it from the config on its
-    // own).  Storage is reserved exactly, so the units' model
-    // pointers stay valid as it fills.
-    size_t overridden = 0;
-    for (const RunConfig &config : grid.variant_configs)
-        if (config.batch_override > 0)
-            for (const ModelProfile &model : grid.models)
-                overridden += config.batch_override != model.batch;
-    std::vector<ModelProfile> batch_models;
-    batch_models.reserve(overridden);
 
     // Synthesis cache: resolved once per run from the execution
     // config (0 disables; every task then synthesizes in place).
@@ -462,85 +585,10 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     if (synth_cache)
         synth_cache->setBudgetBytes(synth_budget);
 
-    // Lay out the (variant x model x progress x layer) task grid and
-    // fingerprint every (layer, op) cell under its variant's effective
-    // config and phase.  Keys and claim costs are computed serially up
-    // front: they are cheap relative to simulation and the sweep
-    // fingerprint needs every key.
-    std::vector<SweepUnit> units;
-    std::vector<SimTask> tasks;
-    std::vector<TaskKey> keys;
-    // SynthKeys whose synthesis cost has been charged to a task:
-    // geometry variants share keys, and only the first task of a key
-    // actually synthesizes when the cache is on.
-    std::unordered_set<uint64_t> charged_synth;
-    // Exact-tier per-op cost statistics: the fission threshold is a
-    // multiple of the grid's mean per-op simulation cost, so "giant"
-    // is always relative to the run at hand.
-    double exact_op_cost = 0.0;
-    size_t exact_op_cells = 0;
-    for (size_t v = 0; v < grid.variant_configs.size(); ++v) {
-        const RunConfig &config = grid.variant_configs[v];
-        std::span<const TrainOp> ops = phaseOps(config.phase);
-        const bool estimate = config.fidelity == Fidelity::Estimate;
-        for (size_t m = 0; m < grid.models.size(); ++m) {
-            const ModelProfile *model = &grid.models[m];
-            if (config.batch_override > 0 &&
-                config.batch_override != model->batch) {
-                batch_models.push_back(*model);
-                batch_models.back().batch = config.batch_override;
-                model = &batch_models.back();
-            }
-            AcceleratorConfig accel_cfg = config.accel;
-            accel_cfg.wg_side = model->wg_side;
-            for (double progress : sweep.progress_points) {
-                SweepUnit unit;
-                unit.model = model;
-                unit.config = &config;
-                unit.progress = progress;
-                unit.first_task = tasks.size();
-                unit.layer_rngs =
-                    &grid_rngs[v * grid.models.size() + m];
-                for (size_t l = 0; l < model->layers.size(); ++l) {
-                    CellSparsity sp =
-                        effectiveCellSparsity(*model, l, progress);
-                    uint64_t skey =
-                        SynthKey::forCell(config, grid.models[m], l,
-                                          progress,
-                                          grid.synthesis_salt)
-                            .value;
-                    // Estimate-tier tasks never synthesize; exact
-                    // tasks pay synthesis once per key when the cache
-                    // is on (every reuser rides the first task's
-                    // tensors), or always when it is off.
-                    double cost = 0.0;
-                    if (!estimate &&
-                        (!synth_cache ||
-                         charged_synth.insert(skey).second))
-                        cost = synthesisCost(model->layers[l],
-                                             model->batch);
-                    for (TrainOp op : ops) {
-                        double op_cost = OpEstimator::estimateSimCost(
-                            accel_cfg, model->layers[l],
-                            model->batch, op, sp);
-                        cost += op_cost;
-                        if (!estimate) {
-                            exact_op_cost += op_cost;
-                            ++exact_op_cells;
-                        }
-                    }
-                    tasks.push_back({units.size(), l, tasks.size(),
-                                     keys.size(), skey, cost});
-                    for (TrainOp op : ops)
-                        keys.push_back(TaskKey::forOp(
-                            config, grid.models[m], l, op, progress,
-                            grid.synthesis_salt,
-                            grid.estimate_out_sparsity));
-                }
-                units.push_back(unit);
-            }
-        }
-    }
+    GridEnumeration e = enumerateGrid(grid, synth_cache != nullptr);
+    const std::vector<SweepUnit> &units = e.units;
+    const std::vector<SimTask> &tasks = e.tasks;
+    const std::vector<TaskKey> &keys = e.keys;
 
     // The sweep fingerprint pins the whole grid: shards merge only
     // when variants, models, points and every task key agree.
@@ -548,6 +596,28 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
 
     sweep.layer_results.resize(tasks.size());
     sweep.present.assign(tasks.size(), 0);
+
+    // Explicit cell ownership: fold the owned op-cell indices into
+    // per-slot masks (an adaptively split giant layer scatters its
+    // cells across runs); tasks whose mask stays empty are not owned
+    // at all.
+    std::vector<uint8_t> own_mask;
+    if (cell_mode) {
+        own_mask.assign(tasks.size(), 0);
+        for (size_t c : cells) {
+            TD_ASSERT(c < keys.size(),
+                      "owned cell %zu out of range (grid has %zu op "
+                      "cells)", c, keys.size());
+            auto it = std::upper_bound(
+                tasks.begin(), tasks.end(), c,
+                [](size_t value, const SimTask &t) {
+                    return value < t.first_cell;
+                });
+            const SimTask &task = *std::prev(it);
+            own_mask[task.slot] |=
+                (uint8_t)(1u << (c - task.first_cell));
+        }
+    }
 
     // This shard's slice of the grid, claimed costliest-first so a
     // huge layer picked up late cannot leave the pool tailing on one
@@ -558,7 +628,8 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     std::vector<SimTask> owned;
     owned.reserve(tasks.size() / shard.count + 1);
     for (const SimTask &task : tasks)
-        if (shard.owns(task.slot))
+        if (cell_mode ? own_mask[task.slot] != 0
+                      : shard.owns(task.slot))
             owned.push_back(task);
     std::stable_sort(owned.begin(), owned.end(),
                      [](const SimTask &a, const SimTask &b) {
@@ -576,9 +647,9 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     FissionPolicy fission;
     const double fission_mult =
         resolveFissionMultiplier(exec.fission_threshold);
-    if (fission_mult > 0.0 && exact_op_cells > 0) {
+    if (fission_mult > 0.0 && e.exact_op_cells > 0) {
         fission.threshold =
-            exact_op_cost / (double)exact_op_cells * fission_mult;
+            e.exact_op_cost / (double)e.exact_op_cells * fission_mult;
         fission.max_parts = exec.threads > 0
             ? exec.threads
             : ThreadPool::shared().size();
@@ -593,19 +664,33 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
     std::atomic<size_t> cache_hits{0};
     std::atomic<size_t> simulated{0};
     std::atomic<size_t> estimated{0};
+    std::mutex hook_mu;
+    size_t done_tasks = 0; ///< guarded by hook_mu
     ThreadPool &pool = ThreadPool::shared();
     pool.parallelFor(
         owned.size(),
         [&](size_t i) {
+            // Cancellation drains: tasks already simulating finish
+            // normally (no torn cells), tasks not yet started are
+            // skipped and their slots stay absent — the partial sweep
+            // still serializes and merges like any shard.
+            if (hooks.cancel &&
+                hooks.cancel->load(std::memory_order_relaxed))
+                return;
             const SimTask &task = owned[i];
             const SweepUnit &unit = units[task.unit];
             std::span<const TrainOp> ops =
                 phaseOps(unit.config->phase);
+            const uint32_t want = cell_mode
+                ? own_mask[task.slot]
+                : (1u << ops.size()) - 1;
             LayerResult &out = sweep.layer_results[task.slot];
             out.cells.resize(ops.size());
             uint32_t missing = 0;
             size_t hits = 0;
             for (size_t j = 0; j < ops.size(); ++j) {
+                if (!(want & (1u << j)))
+                    continue;
                 if (store &&
                     store->lookup(keys[task.first_cell + j],
                                   &out.cells[j], cache_dir))
@@ -635,7 +720,23 @@ runGrid(const RunConfig &exec, const GridLayout &grid, Shard shard)
                 }
             }
             cache_hits.fetch_add(hits, std::memory_order_relaxed);
-            sweep.present[task.slot] = 1;
+            sweep.present[task.slot] = (uint8_t)want;
+            if (hooks.progress) {
+                // Serialized here so the callback needs no locking;
+                // done_tasks counts *processed* tasks (skipped-by-
+                // cancel tasks never report).
+                std::lock_guard<std::mutex> g(hook_mu);
+                SweepProgress p;
+                p.done_tasks = ++done_tasks;
+                p.total_tasks = owned.size();
+                p.cache_hits =
+                    cache_hits.load(std::memory_order_relaxed);
+                p.simulated =
+                    simulated.load(std::memory_order_relaxed);
+                p.estimated =
+                    estimated.load(std::memory_order_relaxed);
+                hooks.progress(p);
+            }
         },
         exec.threads);
     sweep.cache_hits = cache_hits.load();
@@ -864,11 +965,42 @@ SweepSpec::validate() const
 }
 
 size_t
+SweepResult::slotsPerVariant() const
+{
+    size_t slots = 0;
+    for (uint32_t c : model_layer_counts)
+        slots += c;
+    return slots * pointCount();
+}
+
+uint8_t
+SweepResult::slotFullMask(size_t slot) const
+{
+    const size_t spv = slotsPerVariant();
+    const size_t v = spv ? slot / spv : 0;
+    return (uint8_t)((1u << phaseOps(variantPhase(v)).size()) - 1);
+}
+
+size_t
 SweepResult::presentCount() const
 {
+    const size_t spv = slotsPerVariant();
     size_t n = 0;
-    for (uint8_t p : present)
-        n += p;
+    for (size_t i = 0; i < present.size(); ++i) {
+        const size_t v = spv ? i / spv : 0;
+        const uint8_t full =
+            (uint8_t)((1u << phaseOps(variantPhase(v)).size()) - 1);
+        n += present[i] == full;
+    }
+    return n;
+}
+
+size_t
+SweepResult::presentCellCount() const
+{
+    size_t n = 0;
+    for (uint8_t mask : present)
+        n += (size_t)std::popcount(mask);
     return n;
 }
 
@@ -987,11 +1119,23 @@ SweepResult::merge(const SweepResult &other)
     TD_ASSERT(taskCount() == other.taskCount(),
               "sweep grids differ in size (%zu vs %zu)", taskCount(),
               other.taskCount());
+    const size_t spv = slotsPerVariant();
     for (size_t i = 0; i < taskCount(); ++i) {
-        if (other.present[i] && !present[i]) {
-            layer_results[i] = other.layer_results[i];
-            present[i] = 1;
-        }
+        // Per-cell union: cells both sides hold keep this sweep's
+        // copy (bit-identical by construction); a slot split below
+        // task grain reassembles here one mask bit at a time.
+        const uint8_t add =
+            other.present[i] & (uint8_t)~present[i];
+        if (!add)
+            continue;
+        const size_t v = spv ? i / spv : 0;
+        const size_t nops = phaseOps(variantPhase(v)).size();
+        layer_results[i].cells.resize(nops);
+        for (size_t j = 0; j < nops; ++j)
+            if (add & (1u << j))
+                layer_results[i].cells[j] =
+                    other.layer_results[i].cells[j];
+        present[i] |= add;
     }
     cache_hits += other.cache_hits;
     simulated += other.simulated;
@@ -1032,9 +1176,13 @@ SweepResult::serialize() const
     w.u64(estimated);
     w.u32((uint32_t)taskCount());
     for (size_t i = 0; i < taskCount(); ++i) {
-        w.b(present[i] != 0);
-        if (present[i])
-            layer_results[i].serialize(w);
+        // Mask byte, then only the masked cells: a partial slot ships
+        // exactly the cells it owns.
+        w.u8(present[i]);
+        const LayerResult &lr = layer_results[i];
+        for (size_t j = 0; j < lr.cells.size(); ++j)
+            if (present[i] & (1u << j))
+                lr.cells[j].serialize(w);
     }
     return w.data();
 }
@@ -1092,19 +1240,23 @@ SweepResult::deserialize(const std::vector<uint8_t> &bytes,
         return false;
     s.layer_results.resize(ntasks);
     s.present.assign(ntasks, 0);
-    // Each present slot must hold exactly its variant's op count
-    // (slots are laid out variant-major, so the variant is the slot's
-    // position divided by the per-variant slot count).
+    // Each slot's mask must fit its variant's op set (slots are laid
+    // out variant-major, so the variant is the slot's position
+    // divided by the per-variant slot count).
     const uint64_t slots_per_variant = sat_mul(layer_cells, npoints);
     for (uint32_t i = 0; r.ok() && i < ntasks; ++i) {
-        if (r.b()) {
-            s.present[i] = 1;
-            s.layer_results[i].deserialize(r);
-            size_t v = slots_per_variant ? i / slots_per_variant : 0;
-            if (s.layer_results[i].cells.size() !=
-                phaseOps(s.variantPhase(v)).size())
-                return false;
-        }
+        const uint8_t mask = r.u8();
+        if (!mask)
+            continue;
+        size_t v = slots_per_variant ? i / slots_per_variant : 0;
+        const size_t nops = phaseOps(s.variantPhase(v)).size();
+        if (mask >> nops)
+            return false; // bits past the variant's op set: corrupt
+        s.present[i] = mask;
+        s.layer_results[i].cells.resize(nops);
+        for (size_t j = 0; j < nops; ++j)
+            if (mask & (1u << j))
+                s.layer_results[i].cells[j].deserialize(r);
     }
     if (!r.atEnd())
         return false;
@@ -1172,10 +1324,51 @@ struct MaterializedSweep
 } // namespace
 
 SweepResult
-ModelRunner::runSweep(const SweepSpec &spec, Shard shard) const
+ModelRunner::runSweep(const SweepSpec &spec, Shard shard,
+                      const RunHooks &hooks) const
 {
     MaterializedSweep mat(spec, config_);
-    return runGrid(config_, mat.layout(spec), shard);
+    return runGrid(config_, mat.layout(spec), shard, false, {},
+                   hooks);
+}
+
+std::vector<GridCellInfo>
+ModelRunner::planSweep(const SweepSpec &spec) const
+{
+    MaterializedSweep mat(spec, config_);
+    GridLayout grid = mat.layout(spec);
+    GridEnumeration e = enumerateGrid(
+        grid,
+        SynthCache::resolveBudget(config_.synth_cache_bytes) > 0);
+    std::vector<GridCellInfo> cells;
+    cells.reserve(e.keys.size());
+    for (const SimTask &task : e.tasks) {
+        const SweepUnit &unit = e.units[task.unit];
+        const size_t nops = phaseOps(unit.config->phase).size();
+        for (size_t j = 0; j < nops; ++j) {
+            GridCellInfo c;
+            c.slot = task.slot;
+            c.op_index = (uint32_t)j;
+            c.cell = task.first_cell + j;
+            c.key = e.keys[c.cell];
+            c.synth_key = task.synth_key;
+            c.est_cost = e.cell_costs[c.cell];
+            c.synth_cost =
+                j == 0 ? e.task_synth_costs[task.slot] : 0.0;
+            cells.push_back(c);
+        }
+    }
+    return cells;
+}
+
+SweepResult
+ModelRunner::runSweepCells(const SweepSpec &spec,
+                           std::span<const size_t> cells,
+                           const RunHooks &hooks) const
+{
+    MaterializedSweep mat(spec, config_);
+    return runGrid(config_, mat.layout(spec), Shard{}, true, cells,
+                   hooks);
 }
 
 uint64_t
@@ -1236,7 +1429,7 @@ ModelRunner::runMany(std::span<const ModelProfile> models,
     grid.points = points;
     grid.variant_configs = std::span(&config_, 1);
     grid.variant_labels = std::span(&base_label, 1);
-    return runGrid(config_, grid, shard);
+    return runGrid(config_, grid, shard, false, {}, {});
 }
 
 } // namespace tensordash

@@ -66,6 +66,7 @@
  */
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
@@ -101,8 +102,14 @@ namespace tensordash {
  * folded into TaskKey — estimate-tier cells salt their keys so they
  * can never shadow exact results), and serialized sweeps carry the
  * estimated-cell counter next to cache_hits/simulated.
+ *
+ * v5: per-slot presence became an op-cell bitmask so a shard can own
+ * individual op cells of one layer — the sweep service's adaptive
+ * planner splits giant layers below task grain and reassembles them
+ * at merge.  Serialized slots carry the mask followed by only the
+ * masked cells.
  */
-inline constexpr uint32_t kResultFormatVersion = 4;
+inline constexpr uint32_t kResultFormatVersion = 5;
 
 /**
  * Result fidelity tier of a run.
@@ -323,6 +330,79 @@ struct Shard
                   "invalid shard %zu/%zu (want index < count, "
                   "count >= 1)", index, count);
     }
+};
+
+/**
+ * Live progress of one sweep run, reported through RunHooks::progress
+ * after each completed layer task: how many of the tasks this run
+ * owns have finished, plus the running cache/simulation counters.
+ */
+struct SweepProgress
+{
+    size_t done_tasks = 0;
+    size_t total_tasks = 0;
+    size_t cache_hits = 0;
+    size_t simulated = 0;
+    size_t estimated = 0;
+};
+
+/**
+ * Optional execution hooks of one sweep run — observation and control
+ * only, never semantics: hooked, unhooked and cancelled-then-resumed
+ * runs produce bit-identical cells.
+ */
+struct RunHooks
+{
+    /** Called after every completed layer task.  Invocations are
+     * serialized internally, so the callback needs no locking of its
+     * own; it runs on simulation threads and must stay cheap. */
+    std::function<void(const SweepProgress &)> progress;
+
+    /**
+     * When set, checked before each layer task starts: once true, the
+     * remaining tasks are skipped and the run returns a partial sweep
+     * whose finished cells are intact and serializable — the
+     * graceful-shutdown path of the sweep service's workers.  Cells
+     * already simulating drain normally (a cancelled run never holds
+     * torn results).
+     */
+    const std::atomic<bool> *cancel = nullptr;
+};
+
+/**
+ * One op cell of a planned sweep grid, in serial cell order — the
+ * planning view ModelRunner::planSweep() exposes and runSweepCells()
+ * executes against.  Enough for an external scheduler (the sweep
+ * service's shard planner) to probe the result cache, cost shards and
+ * assign cells to worker processes without simulating anything.
+ */
+struct GridCellInfo
+{
+    /** Layer-task grid slot the cell belongs to (the Shard unit). */
+    size_t slot = 0;
+
+    /** Which op cell within the slot, in phaseOps() order. */
+    uint32_t op_index = 0;
+
+    /** Global serial cell index (== this entry's position in the
+     * planSweep() vector; the currency of runSweepCells()). */
+    size_t cell = 0;
+
+    /** The cell's content-addressed identity (ResultStore probes). */
+    TaskKey key;
+
+    /** Synthesis content id (SynthKey) of the cell's layer: cells
+     * sharing it share one synthesis, so a planner that scatters them
+     * across workers pays synthesis once per worker instead. */
+    uint64_t synth_key = 0;
+
+    /** Closed-form estimated simulation cost of this op cell. */
+    double est_cost = 0.0;
+
+    /** Synthesis volume charged to this cell — the first cell of the
+     * first slot of each synth_key, matching the claim-order cost
+     * model; 0 everywhere else. */
+    double synth_cost = 0.0;
 };
 
 /**
@@ -623,8 +703,10 @@ struct SweepResult
     Shard shard;
 
     /** Raw per-layer task results in serial grid order (the unit of
-     * sharding/caching); present[slot] marks the cells this sweep
-     * holds. */
+     * sharding/caching); present[slot] is an op-cell bitmask (bit j =
+     * the slot's j-th phase op) marking the cells this sweep holds —
+     * a shard that owns individual op cells of a giant layer carries
+     * a partial mask until merge() reunites the slot. */
     std::vector<LayerResult> layer_results;
     std::vector<uint8_t> present;
 
@@ -669,10 +751,21 @@ struct SweepResult
      * op count) — the denominator cache_hits/simulated split. */
     size_t cellCount() const;
 
-    /** Grid cells this sweep holds. */
+    /** Layer slots of one variant (layer slots x progress points) —
+     * the stride mapping a slot index to its variant. */
+    size_t slotsPerVariant() const;
+
+    /** Full present mask of @p slot: one bit per op cell its
+     * variant's phase runs. */
+    uint8_t slotFullMask(size_t slot) const;
+
+    /** Grid slots this sweep holds *completely* (full op mask). */
     size_t presentCount() const;
 
-    /** True when every task of the grid is present. */
+    /** Individual op cells this sweep holds (counts partial slots). */
+    size_t presentCellCount() const;
+
+    /** True when every task of the grid is fully present. */
     bool complete() const;
 
     /** Result for one (model, progress point, config variant) cell. */
@@ -742,11 +835,41 @@ class ModelRunner
      * @param shard grid partition to simulate (default: the whole
      *              grid).  A partial shard's sweep has no model-level
      *              results until merge()d with its siblings.
+     * @param hooks optional progress callback and cancellation flag
+     *              (execution-only; see RunHooks)
      * @return variant-major SweepResult; each cell is bit-identical to
      *         a single-variant run of its effective config at any
      *         thread count, shard split, or cache state
      */
-    SweepResult runSweep(const SweepSpec &spec, Shard shard = {}) const;
+    SweepResult runSweep(const SweepSpec &spec, Shard shard = {},
+                         const RunHooks &hooks = {}) const;
+
+    /**
+     * Planning view of the task grid @p spec expands to under this
+     * runner's config: every (variant x model x progress x layer x op)
+     * cell in serial order — its grid slot, TaskKey, SynthKey and
+     * closed-form cost estimates — computed without simulating
+     * anything.  Entry i has cell == i, and hashing the plan's keys
+     * reproduces sweepFingerprint(spec) exactly: the plan and the
+     * execution describe one and the same grid.  This is what the
+     * sweep service's shard planner sizes worker shards from.
+     */
+    std::vector<GridCellInfo> planSweep(const SweepSpec &spec) const;
+
+    /**
+     * Simulate exactly the op cells named by @p cells (global serial
+     * cell indices from planSweep()) of @p spec's grid — the
+     * externally-planned companion of runSweep's modulo sharding,
+     * letting a scheduler place individual op cells of a giant layer
+     * on different workers.  The returned sweep carries the full
+     * grid's fingerprint with only the named cells present (an empty
+     * @p cells yields an all-absent shell to merge() worker shards
+     * into); merging any cell-disjoint cover of the grid is
+     * bit-identical to one unsharded runSweep().
+     */
+    SweepResult runSweepCells(const SweepSpec &spec,
+                              std::span<const size_t> cells,
+                              const RunHooks &hooks = {}) const;
 
     /**
      * Fingerprint of the task grid @p spec expands to under this

@@ -1,7 +1,6 @@
 #include "core/synth_cache.hh"
 
-#include <cstdlib>
-
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "core/runner.hh"
 
@@ -204,15 +203,7 @@ SynthCache::resolveBudget(int64_t configured)
 {
     if (configured >= 0)
         return (uint64_t)configured;
-    if (const char *env = std::getenv("TD_SYNTH_CACHE_BYTES")) {
-        char *end = nullptr;
-        unsigned long long v = std::strtoull(env, &end, 10);
-        if (end != env && *end == '\0' && env[0] != '-')
-            return (uint64_t)v;
-        TD_WARN("ignoring malformed TD_SYNTH_CACHE_BYTES='%s' "
-                "(want a non-negative byte count)", env);
-    }
-    return kDefaultBudgetBytes;
+    return env::byteKnob("TD_SYNTH_CACHE_BYTES", kDefaultBudgetBytes);
 }
 
 } // namespace tensordash

@@ -1,0 +1,109 @@
+#ifndef TENSORDASH_SERVICE_JOB_SPEC_HH_
+#define TENSORDASH_SERVICE_JOB_SPEC_HH_
+
+/**
+ * @file
+ * Serializable sweep-job description: the declarative payload of a
+ * JobRequest frame.
+ *
+ * SweepSpec itself cannot travel between processes — its axes carry
+ * arbitrary std::function mutators — so the wire format is a JobSpec:
+ * models by zoo name, scalar base-config fields, and axes drawn from
+ * a closed registry of named kinds (PE rows/cols, staging depth, tile
+ * count, power gating, workload phase, batch size).  toSweepSpec()
+ * rebuilds the exact in-process spec on the other side, and because
+ * both daemon and workers rebuild from the same bytes, every party
+ * computes the identical task grid and fingerprint.
+ *
+ * Execution knobs (threads, cache dir, worker fleet size) are
+ * deliberately NOT part of a JobSpec: they belong to whoever runs the
+ * job, never to what the job computes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.hh"
+#include "core/runner.hh"
+
+namespace tensordash {
+namespace service {
+
+/** JobSpec payload layout version (bump on any field change). */
+inline constexpr uint32_t kJobSpecVersion = 1;
+
+/**
+ * The closed axis registry: every named kind maps to one RunConfig
+ * mutator family, so a serialized axis is (kind, integer values) and
+ * nothing more.  Phase values are 0 = training / 1 = inference;
+ * Gating values are 0 = off / 1 = on.
+ */
+enum class AxisKind : uint8_t
+{
+    Rows = 1,   ///< PE rows per tile
+    Cols = 2,   ///< PE columns per tile
+    Depth = 3,  ///< staging-buffer depth (the paper's lookahead)
+    Tiles = 4,  ///< tile count
+    Gating = 5, ///< power gating off/on
+    Phase = 6,  ///< workload phase (training/inference)
+    Batch = 7,  ///< effective batch size override
+};
+
+/** Printable name of @p kind ("rows", "phase", ...). */
+const char *axisKindName(AxisKind kind);
+
+/** One serialized sweep axis: a registry kind plus integer values. */
+struct JobAxis
+{
+    AxisKind kind = AxisKind::Rows;
+    std::vector<int64_t> values;
+};
+
+/** One declarative sweep job (the JobRequest payload). */
+struct JobSpec
+{
+    /** Zoo model names (ModelZoo::byName), in figure order. */
+    std::vector<std::string> models;
+
+    /** Training points; empty = the single base progress. */
+    std::vector<double> progress_points;
+
+    /** Base-config scalars (defaults mirror the figure benches:
+     * analytic memory model, fig13's sampling budget). */
+    double progress = 0.5;
+    uint64_t seed = 7;
+    uint8_t phase = 0;    ///< WorkloadPhase
+    uint8_t fidelity = 0; ///< Fidelity
+    uint8_t memory_model = 0; ///< MemoryModel (0 = Analytic)
+    int32_t batch_override = 0;
+    uint64_t max_sampled_macs = 600000;
+
+    /** Config axes from the closed registry, crossed in order. */
+    std::vector<JobAxis> axes;
+
+    void serialize(ByteWriter &w) const;
+    bool deserialize(ByteReader &r);
+
+    /**
+     * Validate every field against the registry's ranges and the
+     * model zoo.  Returns "" when well-formed, else a human-readable
+     * reason (the daemon sends it back verbatim as an Error frame) —
+     * a garbage job must fail loudly at the front door, not TD_FATAL
+     * deep inside a worker.
+     */
+    std::string validate() const;
+
+    /** Base RunConfig this job describes (execution knobs — threads,
+     * cache_dir — left at their defaults for the runner to fill). */
+    RunConfig baseConfig() const;
+
+    /** Rebuild the in-process SweepSpec (resolves models by name;
+     * requires validate() == ""). */
+    SweepSpec toSweepSpec() const;
+};
+
+} // namespace service
+} // namespace tensordash
+
+#endif // TENSORDASH_SERVICE_JOB_SPEC_HH_

@@ -1,0 +1,133 @@
+#include "service/planner.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+#include "core/result_store.hh"
+
+namespace tensordash {
+namespace service {
+
+namespace {
+
+/** One packable unit: either a whole layer task or, after a
+ * below-task-grain split, a single op cell. */
+struct PackUnit
+{
+    std::vector<size_t> cells;
+    double cost = 0.0;
+    size_t slot = 0; ///< the layer task the cells came from
+};
+
+} // namespace
+
+std::vector<uint8_t>
+probeWarm(const std::vector<GridCellInfo> &plan,
+          const std::string &cache_dir)
+{
+    std::vector<uint8_t> warm(plan.size(), 0);
+    ResultStore &store = ResultStore::shared();
+    OpCellResult scratch;
+    for (size_t i = 0; i < plan.size(); ++i)
+        warm[i] = store.lookup(plan[i].key, &scratch, cache_dir);
+    return warm;
+}
+
+ShardPlan
+planJob(const std::vector<GridCellInfo> &plan,
+        const std::string &cache_dir, size_t max_shards)
+{
+    TD_ASSERT(max_shards >= 1, "planJob needs at least one shard");
+    // planSweep() emits entry i with cell == i; the packing below
+    // indexes the plan by cell and depends on that.
+    for (size_t i = 0; i < plan.size(); ++i)
+        TD_ASSERT(plan[i].cell == i,
+                  "plan entry %zu holds cell %zu: not a planSweep() "
+                  "grid", i, plan[i].cell);
+    ShardPlan out;
+    std::vector<uint8_t> warm = probeWarm(plan, cache_dir);
+
+    // Group the cold cells back into their layer tasks: the slot is
+    // the default packing unit (one synthesis per layer).  std::map
+    // keeps slot order deterministic.
+    std::map<size_t, PackUnit> tasks;
+    double total_cost = 0.0;
+    for (size_t i = 0; i < plan.size(); ++i) {
+        if (warm[i]) {
+            out.warm_cells.push_back(plan[i].cell);
+            continue;
+        }
+        PackUnit &unit = tasks[plan[i].slot];
+        unit.slot = plan[i].slot;
+        unit.cells.push_back(plan[i].cell);
+        double c = plan[i].est_cost + plan[i].synth_cost;
+        unit.cost += c;
+        total_cost += c;
+    }
+    if (tasks.empty())
+        return out; // fully warm: no workers, no shards
+
+    // Per-shard cost target.  A layer task costlier than the target
+    // is a giant: bound the makespan by splitting it below task grain
+    // (each op cell becomes its own unit; a worker that receives a
+    // lone cell re-synthesizes the layer, which the split's cost
+    // accounting accepts as the price of balance).
+    out.target_cost = total_cost / (double)max_shards;
+    std::vector<PackUnit> units;
+    std::set<size_t> split_slots;
+    for (auto &kv : tasks) {
+        PackUnit &unit = kv.second;
+        if (max_shards > 1 && unit.cells.size() > 1 &&
+            unit.cost > out.target_cost) {
+            split_slots.insert(unit.slot);
+            for (size_t cell : unit.cells) {
+                PackUnit split;
+                split.slot = unit.slot;
+                split.cells.push_back(cell);
+                split.cost = plan[cell].est_cost +
+                             plan[cell].synth_cost;
+                units.push_back(std::move(split));
+            }
+        } else {
+            units.push_back(std::move(unit));
+        }
+    }
+
+    // Longest-processing-time packing: costliest unit first, always
+    // into the least-loaded shard.  stable_sort + index tie-break
+    // keeps the plan deterministic.
+    std::stable_sort(units.begin(), units.end(),
+                     [](const PackUnit &a, const PackUnit &b) {
+                         return a.cost > b.cost;
+                     });
+    size_t nshards = std::min(max_shards, units.size());
+    out.shards.resize(nshards);
+    // Which shard each split slot's cells landed in (split_tasks
+    // counts only slots that truly ended up on >1 shard).
+    std::map<size_t, std::set<size_t>> slot_shards;
+    for (PackUnit &unit : units) {
+        size_t best = 0;
+        for (size_t s = 1; s < nshards; ++s)
+            if (out.shards[s].cost < out.shards[best].cost)
+                best = s;
+        if (split_slots.count(unit.slot))
+            slot_shards[unit.slot].insert(best);
+        out.shards[best].cost += unit.cost;
+        out.shards[best].cells.insert(out.shards[best].cells.end(),
+                                      unit.cells.begin(),
+                                      unit.cells.end());
+    }
+    for (const auto &kv : slot_shards)
+        out.split_tasks += kv.second.size() > 1;
+
+    // Sorted cell lists make shard contents reproducible and the
+    // worker's ownership masks cheap to build.
+    for (ShardAssignment &s : out.shards)
+        std::sort(s.cells.begin(), s.cells.end());
+    return out;
+}
+
+} // namespace service
+} // namespace tensordash

@@ -1,0 +1,196 @@
+#include "service/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace tensordash {
+namespace service {
+
+namespace {
+
+/** Frame header bytes: magic u32 + version u32 + type u8 + len u32. */
+constexpr size_t kFrameHeaderBytes = 13;
+
+bool
+sendAll(int fd, const uint8_t *data, size_t n)
+{
+    while (n > 0) {
+        // MSG_NOSIGNAL: a peer that hung up makes the write fail with
+        // EPIPE instead of raising SIGPIPE against the whole process.
+        ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= (size_t)w;
+    }
+    return true;
+}
+
+bool
+recvAll(int fd, uint8_t *data, size_t n)
+{
+    while (n > 0) {
+        ssize_t r = ::recv(fd, data, n, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0)
+            return false; // EOF mid-frame
+        data += r;
+        n -= (size_t)r;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+sendFrame(int fd, MsgType type, const std::vector<uint8_t> &payload)
+{
+    if (payload.size() > kMaxFrameBytes) {
+        TD_WARN("refusing to send an oversized frame (%zu bytes)",
+                payload.size());
+        return false;
+    }
+    ByteWriter w;
+    w.u32(kProtocolMagic);
+    w.u32(kProtocolVersion);
+    w.u8((uint8_t)type);
+    w.u32((uint32_t)payload.size());
+    const std::vector<uint8_t> &header = w.data();
+    return sendAll(fd, header.data(), header.size()) &&
+           sendAll(fd, payload.data(), payload.size());
+}
+
+bool
+recvFrame(int fd, Frame *out)
+{
+    std::vector<uint8_t> header(kFrameHeaderBytes);
+    if (!recvAll(fd, header.data(), header.size()))
+        return false;
+    ByteReader r(header);
+    if (r.u32() != kProtocolMagic)
+        return false;
+    uint32_t version = r.u32();
+    if (version != kProtocolVersion) {
+        TD_WARN("peer speaks sweep protocol v%u, this build v%u",
+                version, kProtocolVersion);
+        return false;
+    }
+    uint8_t type = r.u8();
+    uint32_t len = r.u32();
+    if (type < (uint8_t)MsgType::JobRequest ||
+        type > (uint8_t)MsgType::Error || len > kMaxFrameBytes)
+        return false;
+    out->type = (MsgType)type;
+    out->payload.resize(len);
+    return len == 0 ||
+           recvAll(fd, out->payload.data(), out->payload.size());
+}
+
+int
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        TD_WARN("socket path '%s' is empty or too long (max %zu)",
+                path.c_str(), sizeof(addr.sun_path) - 1);
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        TD_WARN("cannot create socket: %s", std::strerror(errno));
+        return -1;
+    }
+    // A previous daemon that died without cleanup leaves a stale
+    // socket file; bind would fail on it forever.
+    ::unlink(path.c_str());
+    if (::bind(fd, (const sockaddr *)&addr, sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        TD_WARN("cannot listen on '%s': %s", path.c_str(),
+                std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        return -1;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    for (;;) {
+        if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) == 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        ::close(fd);
+        return -1;
+    }
+}
+
+void
+ProgressMsg::serialize(ByteWriter &w) const
+{
+    w.u64(total_cells);
+    w.u64(warm_cells);
+    w.u64(done_tasks);
+    w.u64(total_tasks);
+    w.u64(simulated);
+    w.u32(shards_total);
+    w.u32(shards_done);
+}
+
+bool
+ProgressMsg::deserialize(ByteReader &r)
+{
+    total_cells = r.u64();
+    warm_cells = r.u64();
+    done_tasks = r.u64();
+    total_tasks = r.u64();
+    simulated = r.u64();
+    shards_total = r.u32();
+    shards_done = r.u32();
+    return r.ok() && r.atEnd();
+}
+
+std::vector<uint8_t>
+errorPayload(const std::string &message)
+{
+    ByteWriter w;
+    w.str(message);
+    return w.data();
+}
+
+std::string
+parseErrorPayload(const std::vector<uint8_t> &payload)
+{
+    ByteReader r(payload);
+    std::string message = r.str();
+    return r.ok() ? message : "(unparseable error payload)";
+}
+
+} // namespace service
+} // namespace tensordash

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the consolidated environment-knob parser: every TD_*
+ * runtime knob resolves through env::intKnob/doubleKnob/byteKnob/
+ * stringKnob, so this suite pins the shared contract once — unset
+ * falls back silently, a valid value in range wins, and garbage or
+ * out-of-range input falls back loudly instead of being half-parsed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+
+namespace tensordash {
+namespace {
+
+/** Scoped setenv: every test leaves the environment as it found it. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+constexpr const char *kVar = "TD_TEST_KNOB";
+
+TEST(EnvInt, UnsetFallsBack)
+{
+    ScopedEnv e(kVar, nullptr);
+    EXPECT_EQ(env::intKnob(kVar, 1, 100, 7), 7);
+}
+
+TEST(EnvInt, ValidValueWins)
+{
+    ScopedEnv e(kVar, "42");
+    EXPECT_EQ(env::intKnob(kVar, 1, 100, 7), 42);
+}
+
+TEST(EnvInt, BoundsAreInclusive)
+{
+    {
+        ScopedEnv e(kVar, "1");
+        EXPECT_EQ(env::intKnob(kVar, 1, 100, 7), 1);
+    }
+    {
+        ScopedEnv e(kVar, "100");
+        EXPECT_EQ(env::intKnob(kVar, 1, 100, 7), 100);
+    }
+}
+
+TEST(EnvInt, OutOfRangeFallsBack)
+{
+    {
+        ScopedEnv e(kVar, "0");
+        EXPECT_EQ(env::intKnob(kVar, 1, 100, 7), 7);
+    }
+    {
+        ScopedEnv e(kVar, "101");
+        EXPECT_EQ(env::intKnob(kVar, 1, 100, 7), 7);
+    }
+}
+
+TEST(EnvInt, GarbageFallsBack)
+{
+    const char *garbage[] = {"", " ", "abc", "12abc", "abc12", "1.5",
+                             "0x10", "3 ", "+", "-",
+                             "99999999999999999999999999"};
+    for (const char *v : garbage) {
+        ScopedEnv e(kVar, v);
+        EXPECT_EQ(env::intKnob(kVar, 1, 100, 7), 7)
+            << "value '" << v << "' should fall back";
+    }
+}
+
+TEST(EnvInt, NegativeAllowedWhenInRange)
+{
+    ScopedEnv e(kVar, "-5");
+    EXPECT_EQ(env::intKnob(kVar, -10, 10, 0), -5);
+}
+
+TEST(EnvDouble, UnsetFallsBack)
+{
+    ScopedEnv e(kVar, nullptr);
+    EXPECT_DOUBLE_EQ(env::doubleKnob(kVar, 0.0, 10.0, 4.0), 4.0);
+}
+
+TEST(EnvDouble, ValidValueWins)
+{
+    ScopedEnv e(kVar, "2.5");
+    EXPECT_DOUBLE_EQ(env::doubleKnob(kVar, 0.0, 10.0, 4.0), 2.5);
+}
+
+TEST(EnvDouble, GarbageAndRangeFallBack)
+{
+    const char *bad[] = {"", "abc", "2.5x", "nan", "inf", "-1", "11"};
+    for (const char *v : bad) {
+        ScopedEnv e(kVar, v);
+        EXPECT_DOUBLE_EQ(env::doubleKnob(kVar, 0.0, 10.0, 4.0), 4.0)
+            << "value '" << v << "' should fall back";
+    }
+}
+
+TEST(EnvByte, UnsetFallsBack)
+{
+    ScopedEnv e(kVar, nullptr);
+    EXPECT_EQ(env::byteKnob(kVar, 1024), 1024u);
+}
+
+TEST(EnvByte, PlainAndZeroParse)
+{
+    {
+        ScopedEnv e(kVar, "4096");
+        EXPECT_EQ(env::byteKnob(kVar, 1024), 4096u);
+    }
+    {
+        // 0 is meaningful (disable the budget), not a parse failure.
+        ScopedEnv e(kVar, "0");
+        EXPECT_EQ(env::byteKnob(kVar, 1024), 0u);
+    }
+}
+
+TEST(EnvByte, GarbageFallsBack)
+{
+    const char *bad[] = {"", "abc", "-1", "1.5", "4k", "1e6"};
+    for (const char *v : bad) {
+        ScopedEnv e(kVar, v);
+        EXPECT_EQ(env::byteKnob(kVar, 1024), 1024u)
+            << "value '" << v << "' should fall back";
+    }
+}
+
+TEST(EnvString, UnsetAndSet)
+{
+    {
+        ScopedEnv e(kVar, nullptr);
+        EXPECT_EQ(env::stringKnob(kVar, "dflt"), "dflt");
+        EXPECT_FALSE(env::isSet(kVar));
+    }
+    {
+        ScopedEnv e(kVar, "hello");
+        EXPECT_EQ(env::stringKnob(kVar, "dflt"), "hello");
+        EXPECT_TRUE(env::isSet(kVar));
+    }
+    {
+        // An empty string counts as set: TD_CACHE="" explicitly
+        // selects the memory-only store.
+        ScopedEnv e(kVar, "");
+        EXPECT_EQ(env::stringKnob(kVar, "dflt"), "");
+        EXPECT_TRUE(env::isSet(kVar));
+    }
+}
+
+} // namespace
+} // namespace tensordash

@@ -48,15 +48,16 @@ usage(FILE *out)
 {
     std::fprintf(
         out,
-        "usage: td-cache ls DIR\n"
-        "       td-cache stats DIR\n"
+        "usage: td-cache ls [--json] DIR\n"
+        "       td-cache stats [--json] DIR\n"
         "       td-cache prune [--max-bytes N] [--max-age DUR] "
         "[--stale-versions] [--dry-run] DIR\n"
         "  ls     list cache entries (key, version, size, mtime),\n"
-        "         oldest first\n"
+        "         oldest first; --json emits one object per entry\n"
         "  stats  per-state totals: ok (current format), stale\n"
         "         (written under another format version, never read\n"
-        "         again) and corrupt entries with their byte counts\n"
+        "         again) and corrupt entries with their byte counts;\n"
+        "         --json emits a single machine-readable object\n"
         "  prune  delete stale-version entries (--stale-versions),\n"
         "         then entries older than DUR (suffix s, m, h or d;\n"
         "         plain = seconds), then oldest-mtime entries until\n"
@@ -89,10 +90,52 @@ entryState(const CacheEntryInfo &e)
     return e.version == kResultFormatVersion ? "ok" : "stale";
 }
 
+/** Escape a string for a JSON literal (keys and paths are hex/ASCII,
+ * but a hostile filename must not break the output). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
 int
-runLs(const std::string &dir)
+runLs(const std::string &dir, bool json)
 {
     std::vector<CacheEntryInfo> entries = ResultStore::listDir(dir);
+    if (json) {
+        std::printf("[");
+        for (size_t i = 0; i < entries.size(); ++i) {
+            const CacheEntryInfo &e = entries[i];
+            std::printf(
+                "%s\n  {\"key\": \"%s\", \"version\": %u, "
+                "\"state\": \"%s\", \"bytes\": %" PRIu64
+                ", \"mtime\": %" PRId64 "}",
+                i ? "," : "",
+                e.valid ? FnvHasher::toHex(e.key).c_str() : "",
+                e.valid ? e.version : 0, entryState(e), e.bytes,
+                e.mtime);
+        }
+        std::printf("%s]\n", entries.empty() ? "" : "\n");
+        return 0;
+    }
     Table t;
     t.header({"key", "ver", "state", "bytes", "mtime (UTC)"});
     uint64_t total = 0;
@@ -111,7 +154,7 @@ runLs(const std::string &dir)
 }
 
 int
-runStats(const std::string &dir)
+runStats(const std::string &dir, bool json)
 {
     std::vector<CacheEntryInfo> entries = ResultStore::listDir(dir);
     size_t counts[3] = {0, 0, 0};
@@ -122,6 +165,18 @@ runStats(const std::string &dir)
             : e.version == kResultFormatVersion ? 0 : 1;
         counts[s] += 1;
         bytes[s] += e.bytes;
+    }
+    if (json) {
+        std::printf("{\"dir\": \"%s\", \"format_version\": %u, "
+                    "\"entries\": %zu, \"bytes\": %" PRIu64,
+                    jsonEscape(dir).c_str(), kResultFormatVersion,
+                    entries.size(), bytes[0] + bytes[1] + bytes[2]);
+        for (int s = 0; s < 3; ++s)
+            std::printf(", \"%s\": {\"entries\": %zu, \"bytes\": "
+                        "%" PRIu64 "}",
+                        states[s], counts[s], bytes[s]);
+        std::printf("}\n");
+        return 0;
     }
     Table t;
     t.header({"state", "entries", "bytes"});
@@ -206,15 +261,26 @@ main(int argc, char **argv)
         return usage(stderr);
 
     std::string cmd = argv[1];
-    if (cmd == "ls") {
-        if (argc != 3)
+    if (cmd == "ls" || cmd == "stats") {
+        bool json = false;
+        std::string dir;
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--json")
+                json = true;
+            else if (!arg.empty() && arg[0] == '-') {
+                std::fprintf(stderr,
+                             "td-cache: unknown %s option '%s'\n",
+                             cmd.c_str(), arg.c_str());
+                return usage(stderr);
+            } else if (dir.empty())
+                dir = arg;
+            else
+                return usage(stderr);
+        }
+        if (dir.empty())
             return usage(stderr);
-        return runLs(argv[2]);
-    }
-    if (cmd == "stats") {
-        if (argc != 3)
-            return usage(stderr);
-        return runStats(argv[2]);
+        return cmd == "ls" ? runLs(dir, json) : runStats(dir, json);
     }
     if (cmd == "prune") {
         CachePruneOptions opts;

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * td-sweep: submit a sweep job to td-sweepd and render the result.
+ *
+ *   td-sweep --socket PATH [--csv FILE] [--quiet] fig13
+ *
+ * The client serializes a JobSpec, sends a single JobRequest frame,
+ * tails the daemon's Progress frames to stderr, and renders the final
+ * SweepResult exactly the way the corresponding figure bench does —
+ * the fig13 preset's table (and --csv output) is byte-identical to
+ * bench/fig13_speedup's, so the same goldens cover both paths.
+ *
+ * After the table it prints one machine-parseable counter line:
+ *
+ *   [result] cells=N hits=N simulated=N estimated=N wall_ms=N
+ *
+ * A warm repeat submission shows simulated=0: every cell was served
+ * from the daemon's cache without spawning a worker.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/tensordash.hh"
+#include "service/job_spec.hh"
+#include "service/protocol.hh"
+
+using namespace tensordash;
+using namespace tensordash::service;
+
+namespace {
+
+int
+usage(FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: td-sweep --socket PATH [--csv FILE] [--quiet] PRESET\n"
+        "  --socket PATH  td-sweepd's Unix-domain socket\n"
+        "  --csv FILE     also write the rendered table as CSV\n"
+        "  --quiet        suppress the progress tail on stderr\n"
+        "presets:\n"
+        "  fig13          training speedup over the paper's model\n"
+        "                 suite (same table as bench/fig13_speedup;\n"
+        "                 TD_FAST=1 selects the reduced sampling\n"
+        "                 budget)\n");
+    return out == stdout ? 0 : 1;
+}
+
+/** The fig13 job: paper suite, training, analytic memory, the figure
+ * bench's sampling budget (TD_FAST-aware so goldens line up). */
+JobSpec
+fig13Job()
+{
+    JobSpec job;
+    for (const ModelProfile &m : ModelZoo::paperModels())
+        job.models.push_back(m.name);
+    const char *fast = std::getenv("TD_FAST");
+    job.max_sampled_macs =
+        (fast && fast[0] == '1') ? 120000 : 600000;
+    return job;
+}
+
+/** Render the sweep the way bench/fig13_speedup does: one row per
+ * model with per-op and total speedups, then mean/geomean rows. */
+Table
+renderFig13(const SweepResult &sweep)
+{
+    const std::span<const TrainOp> ops =
+        phaseOps(WorkloadPhase::Training);
+    Table t;
+    std::vector<std::string> header{"model"};
+    for (TrainOp op : ops)
+        header.push_back(trainOpName(op));
+    header.push_back("Total");
+    t.header(header);
+    for (size_t m = 0; m < sweep.modelCount(); ++m) {
+        const ModelRunResult &r = sweep.at(m);
+        std::vector<std::string> row{sweep.models[m]};
+        for (const OpResult &opr : r.ops)
+            row.push_back(fmtSpeedup(opr.speedup()));
+        row.push_back(fmtSpeedup(r.speedup()));
+        t.row(row);
+    }
+    std::vector<std::string> blanks(ops.size(), "");
+    std::vector<std::string> avg{"average"};
+    avg.insert(avg.end(), blanks.begin(), blanks.end());
+    avg.push_back(fmtSpeedup(sweep.meanSpeedup()));
+    t.row(avg);
+    std::vector<std::string> geo{"geomean"};
+    geo.insert(geo.end(), blanks.begin(), blanks.end());
+    geo.push_back(fmtSpeedup(sweep.geomeanSpeedup()));
+    t.row(geo);
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0))
+        return usage(stdout);
+
+    std::string socket_path, csv_path, preset;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "td-sweep: missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[i];
+        };
+        if (arg == "--socket")
+            socket_path = value();
+        else if (arg == "--csv")
+            csv_path = value();
+        else if (arg == "--quiet")
+            quiet = true;
+        else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "td-sweep: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(stderr);
+        } else if (preset.empty()) {
+            preset = arg;
+        } else {
+            return usage(stderr);
+        }
+    }
+    if (socket_path.empty() || preset.empty())
+        return usage(stderr);
+    if (preset != "fig13") {
+        std::fprintf(stderr, "td-sweep: unknown preset '%s'\n",
+                     preset.c_str());
+        return usage(stderr);
+    }
+
+    JobSpec job = fig13Job();
+    std::string reason = job.validate();
+    if (!reason.empty()) {
+        std::fprintf(stderr, "td-sweep: invalid job: %s\n",
+                     reason.c_str());
+        return 1;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    int fd = connectUnix(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr,
+                     "td-sweep: cannot connect to '%s' (is td-sweepd "
+                     "running?)\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    ByteWriter w;
+    job.serialize(w);
+    if (!sendFrame(fd, MsgType::JobRequest, w.data())) {
+        std::fprintf(stderr, "td-sweep: request write failed\n");
+        ::close(fd);
+        return 1;
+    }
+
+    // Tail frames until the terminal JobResult or Error.
+    SweepResult sweep;
+    bool have_result = false;
+    Frame frame;
+    while (recvFrame(fd, &frame)) {
+        if (frame.type == MsgType::Progress) {
+            ProgressMsg p;
+            ByteReader r(frame.payload);
+            if (p.deserialize(r) && !quiet)
+                std::fprintf(stderr,
+                             "[progress] tasks %llu/%llu  warm %llu/"
+                             "%llu cells  shards %u/%u  simulated "
+                             "%llu\n",
+                             (unsigned long long)p.done_tasks,
+                             (unsigned long long)p.total_tasks,
+                             (unsigned long long)p.warm_cells,
+                             (unsigned long long)p.total_cells,
+                             p.shards_done, p.shards_total,
+                             (unsigned long long)p.simulated);
+            continue;
+        }
+        if (frame.type == MsgType::JobResult) {
+            have_result = SweepResult::deserialize(frame.payload,
+                                                   &sweep);
+            if (!have_result)
+                std::fprintf(stderr,
+                             "td-sweep: corrupt JobResult payload\n");
+            break;
+        }
+        if (frame.type == MsgType::Error) {
+            std::fprintf(stderr, "td-sweep: daemon error: %s\n",
+                         parseErrorPayload(frame.payload).c_str());
+            ::close(fd);
+            return 1;
+        }
+        std::fprintf(stderr, "td-sweep: unexpected frame type %u\n",
+                     (unsigned)frame.type);
+        break;
+    }
+    ::close(fd);
+    if (!have_result) {
+        std::fprintf(stderr,
+                     "td-sweep: connection closed before a result\n");
+        return 1;
+    }
+    const auto wall = std::chrono::duration_cast<
+        std::chrono::milliseconds>(std::chrono::steady_clock::now() -
+                                   start);
+
+    Table t = renderFig13(sweep);
+    t.print();
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        if (!out) {
+            std::fprintf(stderr, "td-sweep: cannot write '%s'\n",
+                         csv_path.c_str());
+            return 1;
+        }
+        out << t.csv();
+    }
+    std::printf("[result] cells=%zu hits=%zu simulated=%zu "
+                "estimated=%zu wall_ms=%lld\n",
+                sweep.cellCount(), sweep.cache_hits, sweep.simulated,
+                sweep.estimated, (long long)wall.count());
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * td-sweepd: the sweep service daemon.
+ *
+ *   td-sweepd --socket PATH --cache-dir DIR [--workers N]
+ *             [--worker-threads N] [--threads N]
+ *
+ * Listens on a Unix-domain socket for JobRequest frames from
+ * td-sweep, plans each job into estimator-sized shards, dispatches
+ * cold shards to worker processes (re-exec'd copies of this binary in
+ * --worker mode) and streams Progress + JobResult frames back.  Warm
+ * cells are served in-process from the shared cache directory, so a
+ * repeat query spawns no workers at all.
+ *
+ * SIGINT/SIGTERM drains: in-flight workers finish their current layer
+ * tasks, flush partial shard blobs atomically, and the daemon exits 0
+ * with the socket unlinked.  Every cache and blob write is temp +
+ * rename, so a killed daemon never leaves a torn file.
+ *
+ * The --worker invocation is internal plumbing (the daemon spells out
+ * all its arguments); it is documented in service/daemon.hh.
+ */
+
+#include <climits>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "service/daemon.hh"
+
+using namespace tensordash;
+using namespace tensordash::service;
+
+namespace {
+
+int
+usage(FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: td-sweepd --socket PATH --cache-dir DIR "
+        "[--workers N] [--worker-threads N] [--threads N]\n"
+        "  --socket PATH      Unix-domain socket to listen on\n"
+        "  --cache-dir DIR    shared result cache (required: the\n"
+        "                     warm-serving path and the worker\n"
+        "                     handoff)\n"
+        "  --workers N        worker processes per job (default 2;\n"
+        "                     0 runs shards in-process)\n"
+        "  --worker-threads N threads per worker (default:\n"
+        "                     TD_THREADS / hardware)\n"
+        "  --threads N        threads for the daemon's own passes\n");
+    return out == stdout ? 0 : 1;
+}
+
+/** Parse a bounded int option value; exits loudly on junk. */
+int
+parseIntArg(const char *flag, const char *value, int min, int max)
+{
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE || v < min ||
+        v > max) {
+        std::fprintf(stderr,
+                     "td-sweepd: bad value '%s' for %s (want an "
+                     "integer in [%d, %d])\n",
+                     value, flag, min, max);
+        std::exit(1);
+    }
+    return (int)v;
+}
+
+/** This binary's own path, for re-exec'ing workers. */
+std::string
+selfExe(const char *argv0)
+{
+    char buf[PATH_MAX];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+int
+workerMain(int argc, char **argv)
+{
+    WorkerOptions opts;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "td-sweepd: missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[i];
+        };
+        if (arg == "--job")
+            opts.job_path = value();
+        else if (arg == "--cells")
+            opts.cells_path = value();
+        else if (arg == "--out")
+            opts.out_path = value();
+        else if (arg == "--cache-dir")
+            opts.cache_dir = value();
+        else if (arg == "--threads")
+            opts.threads = parseIntArg("--threads", value(), 0, 4096);
+        else {
+            std::fprintf(stderr,
+                         "td-sweepd: unknown worker option '%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    if (opts.job_path.empty() || opts.cells_path.empty() ||
+        opts.out_path.empty()) {
+        std::fprintf(stderr,
+                     "td-sweepd: --worker needs --job, --cells and "
+                     "--out\n");
+        return 1;
+    }
+    return runWorker(opts);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0))
+        return usage(stdout);
+    if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0)
+        return workerMain(argc, argv);
+
+    DaemonOptions opts;
+    opts.self_exe = selfExe(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "td-sweepd: missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[i];
+        };
+        if (arg == "--socket")
+            opts.socket_path = value();
+        else if (arg == "--cache-dir")
+            opts.cache_dir = value();
+        else if (arg == "--workers")
+            opts.workers = parseIntArg("--workers", value(), 0, 256);
+        else if (arg == "--worker-threads")
+            opts.worker_threads =
+                parseIntArg("--worker-threads", value(), 0, 4096);
+        else if (arg == "--threads")
+            opts.threads = parseIntArg("--threads", value(), 0, 4096);
+        else {
+            std::fprintf(stderr, "td-sweepd: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(stderr);
+        }
+    }
+    if (opts.socket_path.empty() || opts.cache_dir.empty())
+        return usage(stderr);
+    return SweepDaemon(opts).serve();
+}
